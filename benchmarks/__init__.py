@@ -1,0 +1,1 @@
+"""Benchmark package: one regenerating benchmark per paper artifact."""

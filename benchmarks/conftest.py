@@ -1,0 +1,14 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+artifact, so ``pytest benchmarks/ --benchmark-only -s`` reproduces the
+whole evaluation section.  Cycle-level simulations are expensive; each
+benchmark runs one round.
+"""
+
+import pytest
+
+
+def run_once(benchmark, function):
+    """Run an experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)

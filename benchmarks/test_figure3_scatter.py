@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 3 (YMP/8 vs Cedar efficiency scatter)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure3
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_efficiency_scatter(benchmark):
+    result = run_once(benchmark, figure3.run)
+    print("\n" + figure3.render(result))
+
+    # "the 32-processor Cedar has about one-quarter high and
+    # three-quarters intermediate ... Cedar has none [unacceptable]".
+    assert result.cedar_census.unacceptable == 0
+    assert 3 <= result.cedar_census.high <= 5
+    assert result.cedar_census.intermediate >= 8
+
+    # "The 8-processor YMP has about half high and half intermediate ...
+    # the YMP has one unacceptable performance."
+    assert result.ymp_census.high == 6
+    assert result.ymp_census.intermediate == 6
+    assert result.ymp_census.unacceptable == 1

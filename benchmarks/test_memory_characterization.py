@@ -1,0 +1,27 @@
+"""Benchmark: the [GJTV91] memory-characterization stride sweep."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.kernels.memory_characterization import stride_sweep
+
+
+@pytest.mark.benchmark(group="characterization")
+def test_stride_sweep_interleave_structure(benchmark):
+    points = run_once(benchmark, lambda: stride_sweep((1, 2, 4, 8, 16, 32),
+                                                      num_ces=8))
+    for point in points:
+        print(f"stride {point.stride:2d}: {point.modules_touched:2d} modules, "
+              f"interarrival {point.interarrival:.2f}, "
+              f"{point.megabytes_per_second_per_ce:.1f} MB/s/CE")
+
+    by_stride = {p.stride: p for p in points}
+    # Full interleave at stride 1; single-module collapse at stride 32.
+    assert by_stride[1].modules_touched == 32
+    assert by_stride[32].modules_touched == 1
+    assert by_stride[32].interarrival > by_stride[1].interarrival * 2.5
+    # Bandwidth is monotone non-increasing in interleave collapse.
+    assert (
+        by_stride[1].megabytes_per_second_per_ce
+        >= by_stride[32].megabytes_per_second_per_ce
+    )

@@ -1,0 +1,31 @@
+"""Benchmark: the [Turn93] network ablation (Section 4.1's closing claim).
+
+"this degradation is not inherent in the type of network used but is a
+result of specific implementation constraints" -- relaxing queue depth and
+module speed (topology unchanged) must recover a large part of the 32-CE
+interarrival degradation.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import network_ablation
+
+
+@pytest.mark.benchmark(group="network")
+def test_network_ablation(benchmark):
+    result = run_once(benchmark, network_ablation.run)
+    print("\n" + network_ablation.render(result))
+
+    points = result.by_name()
+    built = points["as-built"]
+    relaxed = points["both"]
+
+    # The as-built machine shows real degradation at 32 CEs.
+    assert built.interarrival > 1.5
+
+    # Faster modules alone recover most of it; both constraints together
+    # recover more than either topology-neutral tweak alone destroys.
+    assert points["fast-modules"].interarrival < built.interarrival
+    assert relaxed.interarrival < built.interarrival * 0.75
+    assert relaxed.latency <= built.latency

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate the PPT4 CM-5 comparison ([FWPS92] data)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.baselines.cm5 import CM5Model
+from repro.core.bands import Band
+from repro.kernels.banded_matvec import BandedMatvec
+
+
+def run_cm5():
+    results = {}
+    for bandwidth in (3, 11):
+        for partition in (32, 256, 512):
+            model = CM5Model(processors=partition)
+            results[(bandwidth, partition)] = model.scalability_points(
+                bandwidth, [16_384, 65_536, 262_144]
+            )
+    return results
+
+
+@pytest.mark.benchmark(group="ppt4")
+def test_ppt4_cm5_banded_matvec(benchmark):
+    results = run_once(benchmark, run_cm5)
+
+    # Quoted rate ranges at 32 processors.
+    bw3 = [p.mflops for p in results[(3, 32)]]
+    bw11 = [p.mflops for p in results[(11, 32)]]
+    assert min(bw3) >= 27.0 and max(bw3) <= 33.0
+    assert min(bw11) >= 57.0 and max(bw11) <= 68.0
+
+    # "high performance was not achieved relative to 32, 256, or 512
+    # processors"; "scalable intermediate performance".
+    for key, points in results.items():
+        for point in points:
+            assert point.band is Band.INTERMEDIATE, (key, point)
+
+    # Per-processor MFLOPS roughly equivalent to Cedar's CG (order 1-2).
+    per_processor = results[(11, 32)][0].mflops / 32
+    assert 1.0 <= per_processor <= 3.0

@@ -1,0 +1,26 @@
+"""Benchmark: the PPT5 scaled-Cedar study the paper deferred."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import ppt5_scaling
+
+
+@pytest.mark.benchmark(group="ppt5")
+def test_ppt5_scaled_reimplementation(benchmark):
+    study = run_once(benchmark, lambda: ppt5_scaling.run((4, 8, 16)))
+    print("\n" + ppt5_scaling.render(study))
+
+    by_clusters = {p.clusters: p for p in study.points}
+    # 128 CEs need a third switch stage; 64 still fit in two.
+    assert by_clusters[4].network_stages == 2
+    assert by_clusters[8].network_stages == 2
+    assert by_clusters[16].network_stages == 3
+
+    # With memory modules scaled alongside the CEs, the per-CE stream rate
+    # holds up: the design (unlike the as-built constraints) rescales.
+    assert study.rate_retention() >= 0.5
+    assert study.passed
+
+    # The extra stage costs latency but not proportional bandwidth.
+    assert by_clusters[16].latency >= by_clusters[8].latency - 2.0

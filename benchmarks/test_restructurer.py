@@ -1,0 +1,23 @@
+"""Benchmark: the Section 3.3 compiler comparison (KAP vs automatable)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import restructuring
+
+
+@pytest.mark.benchmark(group="restructuring")
+def test_restructuring_gallery(benchmark):
+    result = run_once(benchmark, restructuring.run)
+    print("\n" + restructuring.render(result))
+
+    # 1988-KAP parallelizes only the dependence-free loop; the automatable
+    # pipeline everything except the true recurrence.
+    assert result.kap_count() == 1
+    assert result.automatable_count() == len(result.rows) - 1
+
+    transforms = " ".join(t for _, _, _, t in result.rows)
+    for pass_name in ("privatization", "reductions", "induction",
+                      "runtime-dependence-test", "balanced-stripmine",
+                      "prefetch-insertion"):
+        assert pass_name in transforms

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Table 2 (global memory latency/interarrival).
+
+Shape criteria: near-minimal (8-cycle latency, 1-cycle interarrival) at one
+cluster for every kernel; monotone degradation with CE count; RK (256-word
+blocks, aggressive overlap) degrades fastest; TM and CG degrade least.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_global_memory(benchmark):
+    result = run_once(benchmark, table2.run)
+    print("\n" + table2.render(result))
+
+    for kernel in table2.KERNELS:
+        latency = result.latency_series(kernel)
+        inter = result.interarrival_series(kernel)
+        # Near-minimal at one cluster.
+        assert latency[0] <= 14.0, kernel
+        assert inter[0] <= 1.8, kernel
+        # Contention grows with CE count.
+        assert latency[2] > latency[0], kernel
+        assert inter[2] > inter[0], kernel
+
+    # RK suffers the worst interarrival degradation at 32 CEs...
+    rk = result.interarrival_series("RK")[2]
+    for gentler in ("TM", "CG"):
+        assert rk >= result.interarrival_series(gentler)[2], gentler
+    # ...and the register-register kernels beat the pure load stream.
+    vl = result.interarrival_series("VL")[2]
+    tm = result.interarrival_series("TM")[2]
+    assert tm <= vl + 0.5

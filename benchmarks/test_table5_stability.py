@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Table 5 (instability of the Perfect ensembles)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import table5
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_instability(benchmark):
+    result = run_once(benchmark, table5.run)
+    print("\n" + table5.render(result))
+
+    # Paper values: Cedar 63.4 / 5.8; Cray 1 10.9 / 4.6;
+    # Y-MP/8 75.3 / 29.0 / 5.3.
+    assert result.profiles["cedar"][0] == pytest.approx(63.4, rel=0.10)
+    assert result.profiles["cedar"][2] == pytest.approx(5.8, rel=0.10)
+    assert result.profiles["cray-1"][0] == pytest.approx(10.9, abs=0.3)
+    assert result.profiles["cray-1"][2] == pytest.approx(4.6, abs=0.3)
+    assert result.profiles["cray-ymp8"][0] == pytest.approx(75.3, abs=0.3)
+    assert result.profiles["cray-ymp8"][2] == pytest.approx(29.0, abs=0.3)
+    assert result.profiles["cray-ymp8"][6] == pytest.approx(5.3, abs=0.3)
+
+    # "two exceptions are sufficient on the Cray 1 and Cedar, whereas the
+    # YMP needs six".
+    assert result.exclusions_needed["cedar"] == 2
+    assert result.exclusions_needed["cray-1"] == 2
+    assert result.exclusions_needed["cray-ymp8"] == 6

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 6 (restructuring efficiency bands)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import table6
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_restructuring_efficiency(benchmark):
+    result = run_once(benchmark, table6.run)
+    print("\n" + table6.render(result))
+
+    assert (result.cedar.high, result.cedar.intermediate,
+            result.cedar.unacceptable) == (1, 9, 3)
+    assert (result.ymp.high, result.ymp.intermediate,
+            result.ymp.unacceptable) == (0, 6, 7)

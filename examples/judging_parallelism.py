@@ -1,0 +1,91 @@
+"""Judging parallelism: apply the five Practical Parallelism Tests.
+
+Evaluates PPT1 (delivered performance), PPT2 (stability), PPT3
+(portability via compiler-delivered efficiency) and PPT4 (scalability) for
+Cedar against the Cray Y-MP/8 and the CM-5, reproducing Section 4.3's
+verdicts.
+
+Run:  python examples/judging_parallelism.py
+"""
+
+from repro.baselines import CRAY_YMP8, CM5Model
+from repro.core.metrics import CodeResult, Ensemble
+from repro.core.ppt import (
+    PracticalParallelismReport,
+    evaluate_ppt1,
+    evaluate_ppt2,
+    evaluate_ppt3,
+    evaluate_ppt4,
+)
+from repro.perfect.suite import run_suite
+from repro.perfect.versions import Version
+
+
+def cedar_ensemble(manual: bool) -> Ensemble:
+    """Perfect results on the Cedar machine model as an Ensemble."""
+    versions = (Version.SERIAL, Version.AUTOMATABLE, Version.HAND)
+    grid = run_suite(versions=versions)
+    ensemble = Ensemble(machine="cedar", processors=32)
+    for code, results in grid.items():
+        chosen = results[Version.HAND] if manual else results[Version.AUTOMATABLE]
+        ensemble.add(
+            CodeResult(
+                code=code,
+                machine="cedar",
+                processors=32,
+                serial_seconds=chosen.serial_seconds,
+                parallel_seconds=chosen.seconds,
+                flop_count=chosen.mflops * chosen.seconds * 1e6,
+            )
+        )
+    return ensemble
+
+
+def judge_cedar() -> None:
+    manual = cedar_ensemble(manual=True)
+    automatable = cedar_ensemble(manual=False)
+    report = PracticalParallelismReport(machine="cedar")
+    report.ppt1 = evaluate_ppt1(manual)
+    report.ppt2 = evaluate_ppt2(automatable)
+    report.ppt3 = evaluate_ppt3(automatable)
+
+    from repro.experiments.ppt4_scalability import cedar_cg_points
+
+    report.ppt4 = evaluate_ppt4("cedar", cedar_cg_points())
+
+    print("Cedar verdicts:", report.verdicts())
+    print(f"  PPT2: instability profile "
+          f"{ {e: round(v, 1) for e, v in report.ppt2.instability_by_exclusions.items()} }, "
+          f"stable after {report.ppt2.exclusions_needed} exclusions")
+    print(f"  PPT3: {report.ppt3.high} high / {report.ppt3.intermediate} "
+          f"intermediate / {report.ppt3.unacceptable} unacceptable")
+    print(f"  PPT4: scalable at P = "
+          f"{report.ppt4.scalable_processor_counts(min_problem_size=4096)} "
+          "(production-sized problems)")
+
+
+def judge_ymp() -> None:
+    ensemble = CRAY_YMP8.ensemble()
+    report = PracticalParallelismReport(machine="cray-ymp8")
+    report.ppt1 = evaluate_ppt1(CRAY_YMP8.ensemble(manual=True))
+    report.ppt2 = evaluate_ppt2(ensemble)
+    report.ppt3 = evaluate_ppt3(ensemble)
+    print("Y-MP/8 verdicts:", report.verdicts())
+    print(f"  PPT2 needs {report.ppt2.exclusions_needed} exclusions "
+          "(paper: six -- 'the YMP cannot be judged as passing PPT2')")
+
+
+def judge_cm5() -> None:
+    points = []
+    for partition in (32, 256, 512):
+        model = CM5Model(processors=partition)
+        points.extend(model.scalability_points(11, [16384, 65536, 262144]))
+    result = evaluate_ppt4("cm5", points)
+    print("CM-5 PPT4: scalable at P =", result.scalable_processor_counts(),
+          "(intermediate band throughout)")
+
+
+if __name__ == "__main__":
+    judge_cedar()
+    judge_ymp()
+    judge_cm5()

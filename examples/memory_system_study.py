@@ -1,0 +1,62 @@
+"""Memory-system study: reproduce the Section 4.1 story end to end.
+
+Shows (1) the three rank-64 update versions of Table 1 on one and four
+clusters -- latency-bound, prefetch-masked, and cache-blocked -- and (2) the
+prefetch latency/interarrival degradation of Table 2 with an ablation
+demonstrating that deeper queues and faster modules (implementation
+constraints, not topology) recover most of it.
+
+Run:  python examples/memory_system_study.py        (takes a few minutes)
+"""
+
+from dataclasses import replace
+
+from repro.config import DEFAULT_CONFIG
+from repro.kernels.rank_update import RankUpdateVersion, measure_rank_update
+from repro.kernels.vector_load import measure_vector_load
+
+
+def table1_story() -> None:
+    print("Rank-64 update, C += A*B in global memory (Table 1):")
+    paper = {
+        RankUpdateVersion.GM_NO_PREFETCH: (14.5, 55.0),
+        RankUpdateVersion.GM_PREFETCH: (50.0, 104.0),
+        RankUpdateVersion.GM_CACHE: (52.0, 208.0),
+    }
+    for version in RankUpdateVersion:
+        one = measure_rank_update(version, 1)
+        four = measure_rank_update(version, 4)
+        p1, p4 = paper[version]
+        print(f"  {version.value:12s} 1 cluster {one.mflops:6.1f} MFLOPS "
+              f"(paper {p1:.0f}); 4 clusters {four.mflops:6.1f} (paper {p4:.0f})")
+    print("  -> only the cache version approaches the 274 MFLOPS "
+          "effective peak; prefetch masks latency but not bandwidth.")
+
+
+def contention_ablation() -> None:
+    print("\nPrefetch stream under contention (Table 2 + [Turn93] ablation):")
+    for name, config in (
+        ("as built", DEFAULT_CONFIG),
+        (
+            "deep queues + fast modules",
+            replace(
+                DEFAULT_CONFIG,
+                network=replace(DEFAULT_CONFIG.network, port_queue_words=8),
+                global_memory=replace(
+                    DEFAULT_CONFIG.global_memory, module_cycle_time=1
+                ),
+            ),
+        ),
+    ):
+        for ces in (8, 32):
+            run = measure_vector_load(ces, config)
+            print(f"  {name:28s} {ces:2d} CEs: latency "
+                  f"{run.first_word_latency:5.1f} cyc, interarrival "
+                  f"{run.interarrival:4.2f} cyc")
+    print("  -> the degradation tracks the implementation constraints, "
+          "not the shuffle-exchange topology.")
+
+
+if __name__ == "__main__":
+    table1_story()
+    contention_ablation()

@@ -1,0 +1,69 @@
+"""Restructuring demo: take Fortran-style loop nests through both
+compilers and execute the winner on the analytic Cedar model.
+
+Shows the Section 3.3 pipeline end to end: dependence analysis, the
+automatable transformations, balanced stripmining, prefetch insertion,
+lowering to a CEDAR FORTRAN DOALL, and execution.
+
+Run:  python examples/restructure_loops.py
+"""
+
+from repro.compiler import CedarRestructurer, KapCompiler
+from repro.compiler.ir import (
+    ArrayRef,
+    Assignment,
+    Loop,
+    LoopNest,
+    ScalarRef,
+    const,
+    var,
+)
+from repro.lang.program import Program
+from repro.model.machine_model import CedarMachineModel
+
+
+def build_nest() -> LoopNest:
+    """do i = 1, 8192:  t = a(i) * w;  s = s + t;  b(i) = t
+
+    A scalar temporary *and* a sum reduction: 1988-KAP gives up; the
+    automatable pipeline privatizes t, turns s into a parallel reduction,
+    stripmines, and prefetches a and b.
+    """
+    i = var("i")
+    body = (
+        Assignment(lhs=ScalarRef("t", True),
+                   reads=(ArrayRef("a", (i,)), ScalarRef("w"))),
+        Assignment(lhs=ScalarRef("s", True),
+                   reads=(ScalarRef("s"), ScalarRef("t")), reduction_op="+"),
+        Assignment(lhs=ArrayRef("b", (i,), True), reads=(ScalarRef("t"),)),
+    )
+    return LoopNest("weighted-sum", Loop("i", const(1), const(8192), body=body))
+
+
+def main() -> None:
+    nest = build_nest()
+    kap = KapCompiler().compile(nest)
+    print(f"KAP-1988 parallelizes {nest.name!r}: {kap.parallelized}")
+
+    restructurer = CedarRestructurer(processors=32)
+    report = restructurer.compile(nest)
+    print(f"automatable pipeline: parallel={report.parallelized}")
+    print("  transformations:", ", ".join(report.applied))
+    strips = report.strips or []
+    lengths = sorted({s.length for s in strips})
+    print(f"  balanced strips: {len(strips)} strips, lengths {lengths}")
+    print(f"  prefetches: {[(p.array, p.length, p.stride) for p in report.prefetches]}")
+
+    doall = restructurer.lower(report, flops_per_iteration=3.0,
+                               words_per_iteration=3.0)
+    model = CedarMachineModel()
+    program = Program(name=nest.name, body=[doall])
+    parallel = model.execute(program)
+    serial = model.execute_serial(program)
+    print(f"  model: serial {serial.seconds * 1e3:.2f} ms -> parallel "
+          f"{parallel.seconds * 1e3:.2f} ms "
+          f"({serial.seconds / parallel.seconds:.1f}x on 32 CEs)")
+
+
+if __name__ == "__main__":
+    main()

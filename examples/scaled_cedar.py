@@ -1,0 +1,28 @@
+"""Scaled-up Cedar: the PPT5 study the paper deferred.
+
+Rebuilds the Cedar design at 8 and 16 clusters (the shuffle-exchange
+network grows a third stage past 64 ports) and asks whether the per-CE
+prefetch stream survives the reimplementation.
+
+Run:  python examples/scaled_cedar.py     (a few minutes of simulation)
+"""
+
+from repro.experiments import ppt5_scaling
+
+
+def main() -> None:
+    study = ppt5_scaling.run((4, 8, 16))
+    print(ppt5_scaling.render(study))
+    print()
+    if study.passed:
+        print("The design rescales: with memory modules grown alongside the")
+        print("processors, the Table 2 degradation does not deepen -- it was")
+        print("the as-built implementation constraints, not the topology")
+        print("(the same conclusion [Turn93] reached for the 32-CE machine).")
+    else:
+        print("The reimplementation loses most of its per-CE bandwidth;")
+        print("PPT5 fails for this parameter choice.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Comparison machines of Section 4.3: Cray Y-MP/8, Cray 1, TMC CM-5.
+
+We have none of this hardware; each model reproduces the *published-
+measurement shape* the paper compares against -- per-code MFLOPS/speedup
+ensembles for the Perfect codes on the Crays (reconstructed to satisfy the
+paper's Table 5 instabilities, Table 6 band census, and Figure 3 reading),
+and a parametric communication/computation model of the CM-5 banded
+matrix-vector product from [FWPS92].
+"""
+
+from repro.baselines.machine import BaselineMachine, CodeMeasurement
+from repro.baselines.cray1 import CRAY_1
+from repro.baselines.cray_ymp import CRAY_YMP8
+from repro.baselines.cm5 import CM5Model
+
+__all__ = [
+    "BaselineMachine",
+    "CodeMeasurement",
+    "CRAY_YMP8",
+    "CRAY_1",
+    "CM5Model",
+]

@@ -1,0 +1,95 @@
+"""Thinking Machines CM-5 model for the PPT4 comparison (Section 4.3).
+
+[FWPS92] measured banded matrix-vector products (bandwidths 3 and 11) on a
+CM-5 *without* floating-point accelerators.  The paper's reading:
+
+* 16K <= N <= 256K, P in {32, 256, 512}: "high performance was not
+  achieved"; "the CM-5 exhibits scalable intermediate performance".
+* Absolute rates at 32 processors: 28-32 MFLOPS for BW=3 and 58-67 MFLOPS
+  for BW=11 as N ranges 16K..256K -- per-processor MFLOPS roughly
+  equivalent to Cedar's CG.
+
+The model: each SPARC node streams the band and x from memory (no vector
+unit, so the node is memory-rate bound at ``node_word_rate``); the
+communication structure of the data-parallel implementation costs a
+per-element gather penalty (boundary x values and the layout's general
+router traffic -- the "communication structure of the CM-5 [that] evidently
+causes these performance difficulties") plus a per-matvec combine latency
+through the control network.  Constants are calibrated to the quoted rate
+ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.ppt import ScalabilityPoint
+from repro.kernels.banded_matvec import BandedMatvec
+
+
+@dataclass(frozen=True)
+class CM5Model:
+    """A CM-5 partition without floating-point accelerators."""
+
+    processors: int = 32
+    #: Sustained node memory rate in 64-bit words/second (scalar SPARC).
+    node_word_rate: float = 2.37e6
+    #: Fraction of the node rate surviving the data-parallel gather/layout
+    #: overhead; lower for low arithmetic intensity (more router traffic
+    #: per flop).
+    gather_efficiency_low_bw: float = 0.34
+    gather_efficiency_high_bw: float = 0.48
+    #: Per-matvec combine/broadcast latency through the control network.
+    combine_seconds: float = 150e-6
+    #: Per-word network transfer time for halo exchange.
+    network_word_seconds: float = 2e-6
+
+    def _gather_efficiency(self, bandwidth: int) -> float:
+        if bandwidth <= 5:
+            return self.gather_efficiency_low_bw
+        return self.gather_efficiency_high_bw
+
+    def node_mflops_serial(self, workload: BandedMatvec) -> float:
+        """One node running the whole (small) problem: no communication."""
+        flops_per_word = workload.flops / workload.words_touched
+        return self.node_word_rate * flops_per_word / 1e6
+
+    def matvec_seconds(self, workload: BandedMatvec) -> float:
+        """One banded matvec on the full partition."""
+        per_node_flops = workload.flops / self.processors
+        flops_per_word = workload.flops / workload.words_touched
+        rate = (
+            self.node_word_rate
+            * flops_per_word
+            * self._gather_efficiency(workload.bandwidth)
+        )
+        compute = per_node_flops / rate
+        halo = workload.halo_words(self.processors) * self.network_word_seconds
+        return compute + halo + self.combine_seconds
+
+    def mflops(self, workload: BandedMatvec) -> float:
+        return workload.flops / self.matvec_seconds(workload) / 1e6
+
+    def efficiency(self, workload: BandedMatvec) -> float:
+        """Delivered rate relative to P perfect serial nodes."""
+        return self.mflops(workload) / (
+            self.processors * self.node_mflops_serial(workload)
+        )
+
+    def scalability_points(
+        self, bandwidth: int, problem_sizes: List[int]
+    ) -> List[ScalabilityPoint]:
+        """PPT4 observations across problem sizes at this partition size."""
+        points = []
+        for n in problem_sizes:
+            workload = BandedMatvec(n=n, bandwidth=bandwidth)
+            points.append(
+                ScalabilityPoint(
+                    processors=self.processors,
+                    problem_size=n,
+                    mflops=self.mflops(workload),
+                    efficiency=self.efficiency(workload),
+                )
+            )
+        return points

@@ -1,0 +1,48 @@
+"""Cray 1 baseline (single processor, 12.5 ns clock, "with modern compiler").
+
+Table 5 gives the Cray 1's compiled Perfect instabilities as
+In(13,0) = 10.9 and In(13,2) = 4.6: a single-processor vector machine is
+far more *stable* across the suite than either parallel system -- the
+observation the paper uses to argue that stability is what parallel
+machines are missing.  Being a uniprocessor it has no speedup columns;
+the manual/compiled speedups are identically 1.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.machine import BaselineMachine, CodeMeasurement
+
+
+def _m(code, mflops):
+    return CodeMeasurement(
+        code=code, compiled_speedup=1.0, manual_speedup=1.0,
+        compiled_mflops=mflops,
+    )
+
+
+#: Reconstructed Cray 1 compiled MFLOPS (modern-compiler column).
+_MEASUREMENTS = {
+    m.code: m
+    for m in (
+        _m("ADM", 4.5),
+        _m("ARC3D", 21.5),
+        _m("BDNA", 6.0),
+        _m("DYFESM", 7.0),
+        _m("FLO52", 11.96),
+        _m("MDG", 5.0),
+        _m("MG3D", 9.5),
+        _m("OCEAN", 3.5),
+        _m("QCD", 3.0),
+        _m("SPEC77", 8.0),
+        _m("SPICE", 1.97),
+        _m("TRACK", 2.6),
+        _m("TRFD", 11.0),
+    )
+}
+
+CRAY_1 = BaselineMachine(
+    name="cray-1",
+    processors=1,
+    clock_ns=12.5,
+    measurements=_MEASUREMENTS,
+)

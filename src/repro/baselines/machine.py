@@ -1,0 +1,81 @@
+"""Common shape of a baseline machine: a name, a processor count, and
+per-code measurements at the restructuring levels the paper compares."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.metrics import CodeResult, Ensemble
+
+
+@dataclass(frozen=True)
+class CodeMeasurement:
+    """One Perfect code on a baseline machine.
+
+    Attributes:
+        code: Perfect code name.
+        compiled_speedup: Speedup of the vendor-compiled (autotasked)
+            version over one processor of the same machine.
+        manual_speedup: Speedup of the manually optimized version.
+        compiled_mflops: Delivered MFLOPS of the compiled version (the
+            ensemble Table 5's instabilities are computed over).
+    """
+
+    code: str
+    compiled_speedup: float
+    manual_speedup: float
+    compiled_mflops: float
+
+
+@dataclass(frozen=True)
+class BaselineMachine:
+    """A machine we only know through published measurements."""
+
+    name: str
+    processors: int
+    clock_ns: float
+    measurements: Mapping[str, CodeMeasurement]
+
+    def codes(self) -> List[str]:
+        return sorted(self.measurements)
+
+    def mflops_ensemble(self) -> Dict[str, float]:
+        """Per-code compiled MFLOPS (Table 5's rate measure)."""
+        return {c: m.compiled_mflops for c, m in self.measurements.items()}
+
+    def speedups(self, manual: bool = False) -> Dict[str, float]:
+        return {
+            c: (m.manual_speedup if manual else m.compiled_speedup)
+            for c, m in self.measurements.items()
+        }
+
+    def efficiencies(self, manual: bool = False) -> Dict[str, float]:
+        return {
+            c: s / self.processors for c, s in self.speedups(manual).items()
+        }
+
+    def ensemble(self, serial_seconds: Optional[Mapping[str, float]] = None,
+                 manual: bool = False) -> Ensemble:
+        """An :class:`Ensemble` view for the PPT evaluators.
+
+        Uses a nominal 100s serial time per code unless real serial times
+        are supplied; only ratios (speedup/efficiency) and the MFLOPS
+        column matter to the methodology.
+        """
+        ensemble = Ensemble(machine=self.name, processors=self.processors)
+        for code, m in sorted(self.measurements.items()):
+            serial = (serial_seconds or {}).get(code, 100.0)
+            speedup = m.manual_speedup if manual else m.compiled_speedup
+            parallel = serial / speedup
+            ensemble.add(
+                CodeResult(
+                    code=code,
+                    machine=self.name,
+                    processors=self.processors,
+                    serial_seconds=serial,
+                    parallel_seconds=parallel,
+                    flop_count=m.compiled_mflops * parallel * 1e6,
+                )
+            )
+        return ensemble

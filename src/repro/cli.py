@@ -1,0 +1,56 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    cedar-repro list                 # what can be regenerated
+    cedar-repro run table1           # one artifact
+    cedar-repro run all              # everything (slow: cycle simulations)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cedar-repro",
+        description=(
+            "Reproduction of 'The Cedar System and an Initial Performance "
+            "Study' (ISCA 1993)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list regenerable tables/figures")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment key from 'list', or 'all'")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for key in sorted(EXPERIMENTS):
+            print(f"{key:18s} {EXPERIMENTS[key].description}")
+        return 0
+    if args.command == "run":
+        keys = (
+            sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        )
+        for key in keys:
+            if key not in EXPERIMENTS:
+                print(f"unknown experiment {key!r}; try 'cedar-repro list'",
+                      file=sys.stderr)
+                return 2
+            print(run_experiment(key))
+            print()
+        return 0
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The Cedar restructuring compiler (Sections 3 and 3.3).
+
+The project had two phases: retargeting the 1988 KAP restructurer
+(:mod:`repro.compiler.kap`) and finding the *automatable* transformations
+that make real applications fast (:mod:`repro.compiler.restructurer`):
+"array privatization, parallel reductions, advanced induction variable
+substitution, runtime data dependence tests, balanced stripmining, and
+parallelization in the presence of SAVE and RETURN statements".
+
+The compiler works on a small affine loop-nest IR (:mod:`repro.compiler.ir`)
+with GCD/Banerjee dependence testing (:mod:`repro.compiler.dependence`),
+and lowers parallelized nests to the :mod:`repro.lang` constructs the
+machine model executes.
+"""
+
+from repro.compiler.dependence import (
+    Dependence,
+    DependenceKind,
+    find_dependences,
+    loop_carried_dependences,
+)
+from repro.compiler.ir import (
+    Assignment,
+    ArrayRef,
+    AffineExpr,
+    Loop,
+    LoopNest,
+    ScalarRef,
+    const,
+    var,
+)
+from repro.compiler.kap import KapCompiler
+from repro.compiler.restructurer import CedarRestructurer, CompilationReport
+
+__all__ = [
+    "AffineExpr",
+    "ArrayRef",
+    "Assignment",
+    "Loop",
+    "LoopNest",
+    "ScalarRef",
+    "const",
+    "var",
+    "Dependence",
+    "DependenceKind",
+    "find_dependences",
+    "loop_carried_dependences",
+    "KapCompiler",
+    "CedarRestructurer",
+    "CompilationReport",
+]

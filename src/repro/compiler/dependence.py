@@ -1,0 +1,194 @@
+"""Data-dependence analysis: ZIV, strong-SIV/GCD, and Banerjee bounds.
+
+The tests decide, for a pair of references to the same array inside a loop,
+whether an iteration can touch a location another iteration touches.  Only
+dependences *carried* by the candidate loop block parallelization; loop-
+independent dependences are execution-order within one iteration.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.compiler.ir import (
+    AffineExpr,
+    ArrayRef,
+    Assignment,
+    Loop,
+    Reference,
+    ScalarRef,
+)
+
+
+class DependenceKind(enum.Enum):
+    """Classic dependence taxonomy."""
+
+    FLOW = "flow"  # write then read
+    ANTI = "anti"  # read then write
+    OUTPUT = "output"  # write then write
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One (possible) dependence between two references."""
+
+    kind: DependenceKind
+    variable: str
+    source: Reference
+    sink: Reference
+    carried_by: Optional[str]  # loop index carrying it; None = loop-independent
+    distance: Optional[int] = None  # iteration distance when provable
+
+    @property
+    def loop_carried(self) -> bool:
+        return self.carried_by is not None
+
+
+def _pairs(
+    statements: List[Assignment],
+) -> Iterator[Tuple[Reference, Reference]]:
+    refs: List[Reference] = []
+    for statement in statements:
+        refs.extend(statement.references)
+    for i, a in enumerate(refs):
+        for b in refs[i:]:
+            if a.is_write or b.is_write:
+                yield a, b
+
+
+def _name_of(ref: Reference) -> str:
+    return ref.array if isinstance(ref, ArrayRef) else ref.name
+
+
+def _kind(a: Reference, b: Reference) -> DependenceKind:
+    if a.is_write and b.is_write:
+        return DependenceKind.OUTPUT
+    return DependenceKind.FLOW if a.is_write else DependenceKind.ANTI
+
+
+def _subscript_dependence(
+    a: AffineExpr,
+    b: AffineExpr,
+    loop: Loop,
+    symbols: Dict[str, int],
+) -> Tuple[bool, Optional[int]]:
+    """Can ``a`` at iteration i equal ``b`` at iteration i'?
+
+    Returns (possible, distance): a strong-SIV pair yields a concrete
+    distance; otherwise GCD and Banerjee-style bound checks may disprove
+    the dependence, else it is conservatively assumed.
+    """
+    index = loop.index
+    ca = a.coefficient(index)
+    cb = b.coefficient(index)
+    difference = a - b  # f(i) - g(i') with both in terms of `index`
+    other_vars = [v for v in difference.variables if v != index]
+    unresolved = [v for v in other_vars if v not in symbols]
+    if unresolved:
+        return True, None  # symbolic subscripts: assume dependence
+    residual = difference.constant + sum(
+        difference.coefficient(v) * symbols[v] for v in other_vars
+    )
+
+    # ZIV: neither subscript varies with the loop.
+    if ca == 0 and cb == 0:
+        return residual == 0, None
+
+    # Strong SIV: a*i + c1 = a*i' + c2 -> distance = (c2 - c1) / a.
+    if ca == cb != 0:
+        if residual % ca != 0:
+            return False, None
+        distance = -residual // ca
+        trip = loop.trip_count(symbols)
+        if trip is not None and abs(distance) >= trip:
+            return False, None
+        return True, distance
+
+    # General SIV/GCD: ca*i - cb*i' = -residual must be divisible by gcd.
+    gcd = math.gcd(abs(ca), abs(cb))
+    if gcd and residual % gcd != 0:
+        return False, None
+
+    # Banerjee-style extreme-value test over the iteration range.
+    trip = loop.trip_count(symbols)
+    if trip is not None:
+        lower = loop.lower
+        low = lower.constant + sum(
+            lower.coefficient(v) * symbols.get(v, 0) for v in lower.variables
+        )
+        high = low + (trip - 1) * loop.step
+        terms = [ca * low, ca * high, -cb * low, -cb * high]
+        minimum = min(ca * low, ca * high) + min(-cb * low, -cb * high)
+        maximum = max(ca * low, ca * high) + max(-cb * low, -cb * high)
+        if not minimum <= -residual <= maximum:
+            return False, None
+    return True, None
+
+
+def find_dependences(
+    loop: Loop, symbols: Optional[Dict[str, int]] = None
+) -> List[Dependence]:
+    """All dependences among references in ``loop``'s body."""
+    symbols = symbols or {}
+    statements = list(loop.statements())
+    found: List[Dependence] = []
+    for a, b in _pairs(statements):
+        if _name_of(a) != _name_of(b):
+            continue
+        if isinstance(a, ScalarRef) or isinstance(b, ScalarRef):
+            # Scalars collide in every iteration unless privatized.
+            found.append(
+                Dependence(
+                    kind=_kind(a, b),
+                    variable=_name_of(a),
+                    source=a,
+                    sink=b,
+                    carried_by=loop.index,
+                    distance=None,
+                )
+            )
+            continue
+        assert isinstance(a, ArrayRef) and isinstance(b, ArrayRef)
+        if len(a.subscripts) != len(b.subscripts):
+            raise ValueError(
+                f"array {a.array} referenced with inconsistent rank"
+            )
+        possible = True
+        distance: Optional[int] = None
+        for sa, sb in zip(a.subscripts, b.subscripts):
+            dim_possible, dim_distance = _subscript_dependence(
+                sa, sb, loop, symbols
+            )
+            if not dim_possible:
+                possible = False
+                break
+            if dim_distance is not None:
+                if distance is None:
+                    distance = dim_distance
+                elif distance != dim_distance:
+                    possible = False  # inconsistent distances: no solution
+                    break
+        if not possible:
+            continue
+        carried = loop.index if distance != 0 else None
+        found.append(
+            Dependence(
+                kind=_kind(a, b),
+                variable=a.array,
+                source=a,
+                sink=b,
+                carried_by=carried,
+                distance=distance,
+            )
+        )
+    return found
+
+
+def loop_carried_dependences(
+    loop: Loop, symbols: Optional[Dict[str, int]] = None
+) -> List[Dependence]:
+    """Only the dependences that forbid running ``loop`` as a DOALL."""
+    return [d for d in find_dependences(loop, symbols) if d.loop_carried]

@@ -1,0 +1,228 @@
+"""A Fortran-subset front end for the restructuring compiler.
+
+Parses the dialect the Perfect kernels are written in -- counted DO loops
+over assignments with affine subscripts -- into the loop-nest IR, so the
+compiler gallery can be driven from source text rather than hand-built IR::
+
+    DO 10 I = 1, N
+       T = A(I)
+       S = S + T * T
+       B(I) = T
+ 10 CONTINUE
+
+Supported: nested DO/CONTINUE (labelled or END DO), integer bounds or
+symbolic names, affine subscripts (``A(2*I+1)``, ``B(I,J)``), scalar and
+array assignments, ``+``/``-``/``*`` expressions (non-affine operand
+structure is flattened to a read set, which is all the dependence passes
+need), reduction forms ``S = S + expr`` and induction forms ``K = K + 3``.
+
+This is a teaching-scale front end: no declarations, no control flow, no
+I/O.  Anything outside the subset raises :class:`repro.errors.CompilerError`
+with the offending line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.ir import (
+    AffineExpr,
+    ArrayRef,
+    Assignment,
+    Loop,
+    LoopNest,
+    Reference,
+    ScalarRef,
+    const,
+    var,
+)
+from repro.errors import CompilerError
+
+_DO_RE = re.compile(
+    r"^DO\s+(?:(?P<label>\d+)\s+)?(?P<index>[A-Z][A-Z0-9]*)\s*=\s*"
+    r"(?P<lower>[^,]+),\s*(?P<upper>[^,]+?)(?:,\s*(?P<step>[^,]+))?$",
+    re.IGNORECASE,
+)
+_ASSIGN_RE = re.compile(
+    r"^(?P<lhs>[A-Z][A-Z0-9]*(?:\([^)]*\))?)\s*=\s*(?P<rhs>.+)$",
+    re.IGNORECASE,
+)
+_REF_RE = re.compile(r"([A-Z][A-Z0-9]*)(\(([^()]*)\))?", re.IGNORECASE)
+_NAME_RE = re.compile(r"^[A-Z][A-Z0-9]*$", re.IGNORECASE)
+_INT_RE = re.compile(r"^[+-]?\d+$")
+
+
+@dataclass
+class _Line:
+    number: int
+    label: Optional[str]
+    text: str
+
+
+def _strip_lines(source: str) -> List[_Line]:
+    lines: List[_Line] = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split("!", 1)[0].strip()
+        if not text or text.upper().startswith("C "):
+            continue
+        label = None
+        match = re.match(r"^(\d+)\s+(.*)$", text)
+        if match and not text.upper().startswith("DO"):
+            label, text = match.group(1), match.group(2).strip()
+        lines.append(_Line(number=number, label=label, text=text))
+    return lines
+
+
+def parse_affine(text: str, line: int = 0) -> AffineExpr:
+    """Parse ``2*I + J - 3`` into an affine expression."""
+    expr = AffineExpr()
+    # Tokenize into signed terms.
+    cleaned = text.replace(" ", "")
+    if not cleaned:
+        raise CompilerError(f"line {line}: empty subscript expression")
+    terms = re.findall(r"[+-]?[^+-]+", cleaned)
+    for term in terms:
+        sign = -1 if term.startswith("-") else 1
+        body = term.lstrip("+-")
+        if not body:
+            raise CompilerError(f"line {line}: malformed term in {text!r}")
+        factors = body.split("*")
+        coefficient = sign
+        name: Optional[str] = None
+        for factor in factors:
+            if _INT_RE.match(factor):
+                coefficient *= int(factor)
+            elif _NAME_RE.match(factor):
+                if name is not None:
+                    raise CompilerError(
+                        f"line {line}: non-affine product {body!r}"
+                    )
+                name = factor.upper()
+            else:
+                raise CompilerError(
+                    f"line {line}: cannot parse subscript factor {factor!r}"
+                )
+        expr = expr + (var(name) * coefficient if name else const(coefficient))
+    return expr
+
+
+def _parse_reference(text: str, line: int, is_write: bool) -> Reference:
+    match = _REF_RE.fullmatch(text.strip())
+    if not match:
+        raise CompilerError(f"line {line}: cannot parse reference {text!r}")
+    name = match.group(1).upper()
+    if match.group(2) is None:
+        return ScalarRef(name=name, is_write=is_write)
+    subscripts = tuple(
+        parse_affine(s, line) for s in match.group(3).split(",")
+    )
+    return ArrayRef(array=name, subscripts=subscripts, is_write=is_write)
+
+
+def _reads_of(rhs: str, line: int) -> List[Reference]:
+    reads: List[Reference] = []
+    consumed = set()
+    for match in _REF_RE.finditer(rhs):
+        if match.start() in consumed:
+            continue
+        name = match.group(1).upper()
+        if _INT_RE.match(name):
+            continue
+        if match.group(2) is None:
+            reads.append(ScalarRef(name=name))
+        else:
+            subscripts = tuple(
+                parse_affine(s, line) for s in match.group(3).split(",")
+            )
+            reads.append(ArrayRef(array=name, subscripts=subscripts))
+    return reads
+
+
+def _detect_self_update(
+    lhs: Reference, rhs: str, line: int
+) -> Tuple[Optional[str], Optional[int]]:
+    """Recognize ``X = X op rest``: returns (reduction_op, increment)."""
+    lhs_text = lhs.name if isinstance(lhs, ScalarRef) else None
+    if lhs_text is None:
+        return None, None
+    cleaned = rhs.replace(" ", "")
+    for op_char, op_name in (("+", "+"), ("*", "*")):
+        prefix = f"{lhs_text.upper()}{op_char}"
+        if cleaned.upper().startswith(prefix):
+            rest = cleaned[len(prefix):]
+            if op_name == "+" and _INT_RE.match(rest):
+                return "+", int(rest)
+            return op_name, None
+    return None, None
+
+
+def parse_nest(source: str, name: str = "nest",
+               symbols: Optional[Dict[str, int]] = None) -> LoopNest:
+    """Parse one top-level DO nest into a :class:`LoopNest`."""
+    lines = _strip_lines(source)
+    if not lines:
+        raise CompilerError("empty source")
+    position = {"index": 0}
+
+    def parse_block(terminator: Optional[str]) -> List[object]:
+        statements: List[object] = []
+        while position["index"] < len(lines):
+            line = lines[position["index"]]
+            upper = line.text.upper()
+            if terminator is not None:
+                if upper in ("END DO", "ENDDO", "CONTINUE") or (
+                    line.label == terminator and upper == "CONTINUE"
+                ):
+                    position["index"] += 1
+                    return statements
+            do_match = _DO_RE.match(line.text)
+            if do_match:
+                position["index"] += 1
+                statements.append(_parse_loop(do_match, line))
+                continue
+            assign_match = _ASSIGN_RE.match(line.text)
+            if assign_match:
+                position["index"] += 1
+                statements.append(_parse_assignment(assign_match, line))
+                continue
+            raise CompilerError(
+                f"line {line.number}: unsupported statement {line.text!r}"
+            )
+        if terminator is not None:
+            raise CompilerError("unterminated DO loop")
+        return statements
+
+    def _parse_loop(match: "re.Match[str]", line: _Line) -> Loop:
+        step_text = match.group("step")
+        step = int(step_text) if step_text else 1
+        body = parse_block(match.group("label") or "END")
+        return Loop(
+            index=match.group("index").upper(),
+            lower=parse_affine(match.group("lower"), line.number),
+            upper=parse_affine(match.group("upper"), line.number),
+            step=step,
+            body=tuple(body),
+        )
+
+    def _parse_assignment(match: "re.Match[str]", line: _Line) -> Assignment:
+        lhs = _parse_reference(match.group("lhs"), line.number, is_write=True)
+        rhs = match.group("rhs")
+        reads = _reads_of(rhs, line.number)
+        reduction_op, increment = _detect_self_update(lhs, rhs, line.number)
+        return Assignment(
+            lhs=lhs,
+            reads=tuple(reads),
+            reduction_op=reduction_op,
+            increment=increment,
+        )
+
+    statements = parse_block(None)
+    loops = [s for s in statements if isinstance(s, Loop)]
+    if len(loops) != 1 or len(statements) != 1:
+        raise CompilerError(
+            "expected exactly one top-level DO nest, got "
+            f"{len(statements)} statements"
+        )
+    return LoopNest(name=name, root=loops[0], symbols=dict(symbols or {}))

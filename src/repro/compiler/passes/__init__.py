@@ -1,0 +1,20 @@
+"""Restructuring passes (the transformations of Section 3.3)."""
+
+from repro.compiler.passes.induction import substitute_induction_variables
+from repro.compiler.passes.parallelize import parallelize
+from repro.compiler.passes.prefetch_insert import PrefetchDirective, insert_prefetches
+from repro.compiler.passes.privatization import privatize
+from repro.compiler.passes.reductions import recognize_reductions
+from repro.compiler.passes.runtime_test import insert_runtime_tests
+from repro.compiler.passes.stripmine import balanced_stripmine
+
+__all__ = [
+    "substitute_induction_variables",
+    "privatize",
+    "recognize_reductions",
+    "insert_runtime_tests",
+    "parallelize",
+    "balanced_stripmine",
+    "insert_prefetches",
+    "PrefetchDirective",
+]

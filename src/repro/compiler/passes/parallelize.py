@@ -1,0 +1,54 @@
+"""The parallelization driver: decide whether a loop can run as a DOALL.
+
+A loop parallelizes when every loop-carried dependence is neutralized by an
+earlier transformation: privatized variables carry no dependence, reduction
+variables are combined by the run-time library, and symbolic-subscript
+dependences can be deferred to a run-time test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.compiler.dependence import Dependence, loop_carried_dependences
+from repro.compiler.ir import Loop
+
+
+def blocking_dependences(
+    loop: Loop,
+    symbols: Optional[Dict[str, int]] = None,
+    allow_runtime_tests: bool = False,
+) -> List[Dependence]:
+    """Loop-carried dependences not covered by private/reduction markers."""
+    neutralized = set(loop.private) | set(loop.reductions)
+    blocking = []
+    for dependence in loop_carried_dependences(loop, symbols):
+        if dependence.variable in neutralized:
+            continue
+        if allow_runtime_tests and dependence.distance is None:
+            # Unprovable (symbolic) dependence: a run-time data dependence
+            # test can check the actual subscript values before choosing
+            # the parallel version.
+            continue
+        blocking.append(dependence)
+    return blocking
+
+
+def parallelize(
+    loop: Loop,
+    symbols: Optional[Dict[str, int]] = None,
+    allow_runtime_tests: bool = False,
+) -> Loop:
+    """Set ``parallel`` (and ``needs_runtime_test``) when legal."""
+    blocking = blocking_dependences(loop, symbols, allow_runtime_tests)
+    if blocking:
+        return replace(loop, parallel=False)
+    if allow_runtime_tests:
+        deferred = any(
+            d.distance is None
+            for d in loop_carried_dependences(loop, symbols)
+            if d.variable not in set(loop.private) | set(loop.reductions)
+        )
+        return replace(loop, parallel=True, needs_runtime_test=deferred)
+    return replace(loop, parallel=True)

@@ -1,0 +1,67 @@
+"""Parallel reduction recognition.
+
+``s = s + expr`` (or ``*``, ``max``, ``min``) carries a dependence through
+``s``, but the operation is associative: each processor can accumulate a
+private partial and the run-time library combines them -- on Cedar, with
+Test-And-Add synchronization instructions in global memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Set
+
+from repro.compiler.ir import ArrayRef, Assignment, Loop, ScalarRef
+
+ASSOCIATIVE_OPS = {"+", "*", "max", "min"}
+
+
+def _reads_itself(statement: Assignment) -> bool:
+    lhs = statement.lhs
+    for ref in statement.reads:
+        if isinstance(lhs, ScalarRef) and isinstance(ref, ScalarRef):
+            if ref.name == lhs.name:
+                return True
+        if isinstance(lhs, ArrayRef) and isinstance(ref, ArrayRef):
+            if ref.array == lhs.array and ref.subscripts == lhs.subscripts:
+                return True
+    return False
+
+
+def recognize_reductions(loop: Loop) -> Loop:
+    """Mark scalar (and invariant array-element) reductions on ``loop``.
+
+    A variable qualifies when every one of its writes in the loop is a
+    self-update with one associative operator and it is not otherwise read.
+    Induction updates (integer ``increment``) are left for the induction
+    pass -- substituting them is more profitable than reducing them.
+    """
+    candidate_ops: dict = {}
+    disqualified: Set[str] = set()
+    for statement in loop.statements():
+        lhs = statement.lhs
+        name = lhs.array if isinstance(lhs, ArrayRef) else lhs.name
+        is_reduction_shape = (
+            statement.reduction_op in ASSOCIATIVE_OPS
+            and statement.increment is None
+            and _reads_itself(statement)
+        )
+        if is_reduction_shape:
+            seen = candidate_ops.get(name)
+            if seen is not None and seen != statement.reduction_op:
+                disqualified.add(name)  # mixed operators: not associative
+            candidate_ops[name] = statement.reduction_op
+        else:
+            disqualified.add(name)
+            # A non-reduction statement observing any variable's running
+            # value mid-loop disqualifies that variable.
+            for ref in statement.reads:
+                ref_name = ref.array if isinstance(ref, ArrayRef) else ref.name
+                disqualified.add(ref_name)
+
+    reductions: List[str] = [
+        name for name in sorted(candidate_ops) if name not in disqualified
+    ]
+    if not reductions:
+        return loop
+    return replace(loop, reductions=tuple(reductions))

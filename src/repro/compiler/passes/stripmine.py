@@ -1,0 +1,68 @@
+"""Balanced stripmining.
+
+Splitting an N-iteration DOALL into P strips of ceil(N/P) leaves the last
+processor short-changed (or idle); *balanced* stripmining hands the first
+``N mod P`` processors one extra iteration so the strip lengths differ by
+at most one -- the shape the Cedar run-time library's static scheduling
+expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.compiler.ir import Loop
+from repro.errors import CompilerError
+
+
+@dataclass(frozen=True)
+class Strip:
+    """One processor's contiguous share of the iteration space."""
+
+    processor: int
+    start: int
+    length: int
+
+    @property
+    def stop(self) -> int:
+        """Exclusive end."""
+        return self.start + self.length
+
+
+def balanced_strips(trip_count: int, processors: int) -> List[Strip]:
+    """Partition ``trip_count`` iterations over ``processors`` evenly.
+
+    Every strip has length floor(N/P) or floor(N/P)+1 and the strips tile
+    the space exactly.
+    """
+    if trip_count < 0:
+        raise CompilerError(f"trip count must be >= 0, got {trip_count}")
+    if processors < 1:
+        raise CompilerError(f"processors must be >= 1, got {processors}")
+    base = trip_count // processors
+    extra = trip_count % processors
+    strips: List[Strip] = []
+    start = 0
+    for p in range(processors):
+        length = base + (1 if p < extra else 0)
+        strips.append(Strip(processor=p, start=start, length=length))
+        start += length
+    return strips
+
+
+def balanced_stripmine(
+    loop: Loop, processors: int, symbols=None
+) -> Tuple[Loop, List[Strip]]:
+    """Annotate ``loop`` with its balanced strip decomposition.
+
+    The IR keeps the loop intact (the run-time library applies the strip
+    bounds at dispatch); the strip list is returned for the lowering and
+    for load-balance verification.
+    """
+    trip = loop.trip_count(symbols)
+    if trip is None:
+        raise CompilerError(
+            f"cannot stripmine loop over {loop.index}: symbolic trip count"
+        )
+    return loop, balanced_strips(trip, processors)

@@ -1,0 +1,99 @@
+"""Acceptable-performance bands (Section 4.3, "Acceptable Performance Levels").
+
+The paper proposes ``P/2`` and ``P/(2 log P)`` for ``P >= 8`` as the levels
+denoting *high* and *acceptable* performance, and "refer[s] to speedups in
+the three bands defined by these two levels as high, intermediate, or
+unacceptable".  In efficiency terms (Table 6) the cut lines are
+``E_p >= 0.5`` and ``E_p >= 1 / (2 log2 P)``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+
+class Band(enum.Enum):
+    """Performance band for a speedup or efficiency at processor count P."""
+
+    HIGH = "high"
+    INTERMEDIATE = "intermediate"
+    UNACCEPTABLE = "unacceptable"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Below this processor count the P/2 log P bands are not meaningful
+#: ("we shall use P/2 and P/2 log P, for P >= 8").
+MIN_BAND_PROCESSORS = 8
+
+
+def band_thresholds(processors: int) -> Tuple[float, float]:
+    """(high, acceptable) speedup thresholds for ``processors`` CPUs.
+
+    Returns ``(P/2, P / (2 log2 P))``.
+
+    Raises:
+        ValueError: if ``processors`` is below the paper's P >= 8 floor.
+    """
+    if processors < MIN_BAND_PROCESSORS:
+        raise ValueError(
+            f"bands are defined for P >= {MIN_BAND_PROCESSORS}, got {processors}"
+        )
+    high = processors / 2.0
+    acceptable = processors / (2.0 * math.log2(processors))
+    return high, acceptable
+
+
+def classify_speedup(speedup: float, processors: int) -> Band:
+    """Band of a measured speedup at a processor count."""
+    if speedup < 0:
+        raise ValueError(f"speedup must be non-negative, got {speedup}")
+    high, acceptable = band_thresholds(processors)
+    if speedup >= high:
+        return Band.HIGH
+    if speedup >= acceptable:
+        return Band.INTERMEDIATE
+    return Band.UNACCEPTABLE
+
+
+def classify_efficiency(efficiency: float, processors: int) -> Band:
+    """Band of an efficiency E_p = speedup / P (Table 6's formulation)."""
+    if efficiency < 0:
+        raise ValueError(f"efficiency must be non-negative, got {efficiency}")
+    return classify_speedup(efficiency * processors, processors)
+
+
+@dataclass(frozen=True)
+class BandCensus:
+    """Counts of codes per band, the shape of the paper's Table 6."""
+
+    high: int
+    intermediate: int
+    unacceptable: int
+
+    @property
+    def total(self) -> int:
+        return self.high + self.intermediate + self.unacceptable
+
+    def as_dict(self) -> Mapping[str, int]:
+        return {
+            "high": self.high,
+            "intermediate": self.intermediate,
+            "unacceptable": self.unacceptable,
+        }
+
+
+def census(efficiencies: Mapping[str, float], processors: int) -> BandCensus:
+    """Tally codes into bands from their efficiencies."""
+    counts = {Band.HIGH: 0, Band.INTERMEDIATE: 0, Band.UNACCEPTABLE: 0}
+    for value in efficiencies.values():
+        counts[classify_efficiency(value, processors)] += 1
+    return BandCensus(
+        high=counts[Band.HIGH],
+        intermediate=counts[Band.INTERMEDIATE],
+        unacceptable=counts[Band.UNACCEPTABLE],
+    )

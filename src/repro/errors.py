@@ -1,0 +1,27 @@
+"""Exception hierarchy for the Cedar reproduction library."""
+
+from __future__ import annotations
+
+
+class CedarError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(CedarError):
+    """A machine or workload configuration is inconsistent."""
+
+
+class SimulationError(CedarError):
+    """The discrete-event simulator reached an invalid state."""
+
+
+class ProgramError(CedarError):
+    """A Cedar program (lang layer) is malformed."""
+
+
+class CompilerError(CedarError):
+    """The restructuring compiler was given an IR it cannot handle."""
+
+
+class MonitorError(CedarError):
+    """Performance-monitoring hardware was misused (capacity, bad signal)."""

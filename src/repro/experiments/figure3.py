@@ -1,0 +1,75 @@
+"""Figure 3: Cray Y-MP/8 vs Cedar efficiency scatter (manual codes).
+
+"The 8-processor YMP has about half high and half intermediate levels of
+performance, while the 32-processor Cedar has about one-quarter high and
+three-quarters intermediate.  Note that the YMP has one unacceptable
+performance, while Cedar has none."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.baselines import CRAY_YMP8
+from repro.core.bands import Band, BandCensus, census, classify_efficiency
+from repro.core.report import efficiency_scatter, fraction_description
+from repro.perfect.suite import run_suite
+from repro.perfect.versions import Version
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    cedar_efficiencies: Dict[str, float]
+    ymp_efficiencies: Dict[str, float]
+    cedar_census: BandCensus
+    ymp_census: BandCensus
+
+
+def cedar_manual_efficiencies() -> Dict[str, float]:
+    """Hand-version efficiency per code (falls back to automatable where
+    no hand recipe exists -- every profile here ships one)."""
+    grid = run_suite(versions=(Version.SERIAL, Version.AUTOMATABLE, Version.HAND))
+    efficiencies = {}
+    for code, versions in grid.items():
+        best = versions.get(Version.HAND, versions[Version.AUTOMATABLE])
+        efficiencies[code] = best.efficiency
+    return efficiencies
+
+
+def run() -> Figure3Result:
+    cedar = cedar_manual_efficiencies()
+    ymp = CRAY_YMP8.efficiencies(manual=True)
+    return Figure3Result(
+        cedar_efficiencies=cedar,
+        ymp_efficiencies=ymp,
+        cedar_census=census(cedar, 32),
+        ymp_census=census(ymp, CRAY_YMP8.processors),
+    )
+
+
+def render(result: Figure3Result) -> str:
+    plot = efficiency_scatter(
+        x_efficiencies=result.ymp_efficiencies,
+        y_efficiencies=result.cedar_efficiencies,
+        x_processors=CRAY_YMP8.processors,
+        y_processors=32,
+    )
+    cedar_bands = {
+        code: classify_efficiency(eff, 32)
+        for code, eff in result.cedar_efficiencies.items()
+    }
+    ymp_bands = {
+        code: classify_efficiency(eff, CRAY_YMP8.processors)
+        for code, eff in result.ymp_efficiencies.items()
+    }
+    return "\n".join(
+        [
+            "Figure 3: Cray YMP/8 vs Cedar efficiency (manual codes)",
+            plot,
+            f"Cedar: {fraction_description(cedar_bands)} "
+            "(paper: ~1/4 high, ~3/4 intermediate, none unacceptable)",
+            f"YMP/8: {fraction_description(ymp_bands)} "
+            "(paper: ~half high, ~half intermediate, one unacceptable)",
+        ]
+    )

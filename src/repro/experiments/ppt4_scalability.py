@@ -1,0 +1,129 @@
+"""PPT4, Code and Architecture Scalability (Section 4.3).
+
+Cedar side: conjugate gradient on the cycle simulator, processors 2..32 and
+problem sizes 1K..172K.  Paper: "Cedar exhibits scalable high performance
+for matrices larger than something between 10K and 16K ... and scalable
+intermediate performance for smaller matrices"; at 32 processors CG
+delivers "between 34 and 48 MFLOPS as the problem size ranges from 10K to
+172K".
+
+CM-5 side: banded matrix-vector products (bandwidths 3 and 11) on 32, 256
+and 512 processors without floating-point accelerators, 16K <= N <= 256K:
+scalable *intermediate* performance, 28-32 MFLOPS (BW=3) and 58-67 MFLOPS
+(BW=11) at 32 processors.
+
+Speedups are relative to the one-processor run of the same (vectorized,
+prefetched) code, as in an algorithm-level scalability study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.baselines.cm5 import CM5Model
+from repro.config import CedarConfig, DEFAULT_CONFIG
+from repro.core.bands import Band
+from repro.core.ppt import PPT4Result, ScalabilityPoint, evaluate_ppt4
+from repro.core.report import format_table
+from repro.kernels.conjugate_gradient import FLOPS_PER_POINT, cg_time_cycles
+
+CEDAR_PROCESSOR_COUNTS = (8, 16, 32)
+CEDAR_PROBLEM_SIZES = (1_024, 4_096, 10_240, 16_384, 45_056, 90_112, 176_128)
+CM5_PROBLEM_SIZES = (16_384, 65_536, 262_144)
+CM5_PARTITIONS = (32, 256, 512)
+
+
+@dataclass(frozen=True)
+class PPT4Study:
+    cedar: PPT4Result
+    cm5: Dict[int, PPT4Result]  # bandwidth -> result
+    cedar_mflops_at_32: Tuple[float, float]  # min/max over sizes >= 10K
+
+
+def cedar_cg_points(
+    config: CedarConfig = DEFAULT_CONFIG,
+) -> List[ScalabilityPoint]:
+    """CG rate/efficiency across (P, N) on the cycle simulator."""
+    points: List[ScalabilityPoint] = []
+    serial_cycles: Dict[int, float] = {}
+    for n in CEDAR_PROBLEM_SIZES:
+        serial_cycles[n] = cg_time_cycles(1, n, config)
+    for processors in CEDAR_PROCESSOR_COUNTS:
+        for n in CEDAR_PROBLEM_SIZES:
+            if n < processors * 64:
+                continue  # below one strip per CE: not a meaningful run
+            cycles = cg_time_cycles(processors, n, config)
+            mflops = FLOPS_PER_POINT * n / (cycles * 170e-9) / 1e6
+            speedup = serial_cycles[n] / cycles
+            points.append(
+                ScalabilityPoint(
+                    processors=processors,
+                    problem_size=n,
+                    mflops=mflops,
+                    efficiency=speedup / processors,
+                )
+            )
+    return points
+
+
+def run(config: CedarConfig = DEFAULT_CONFIG) -> PPT4Study:
+    cedar_points = cedar_cg_points(config)
+    cedar = evaluate_ppt4("cedar", cedar_points)
+    cm5 = {}
+    for bandwidth in (3, 11):
+        points: List[ScalabilityPoint] = []
+        for partition in CM5_PARTITIONS:
+            model = CM5Model(processors=partition)
+            points.extend(
+                model.scalability_points(bandwidth, list(CM5_PROBLEM_SIZES))
+            )
+        cm5[bandwidth] = evaluate_ppt4("cm5", points)
+    at_32 = [
+        p.mflops
+        for p in cedar_points
+        if p.processors == 32 and p.problem_size >= 10_240
+    ]
+    return PPT4Study(
+        cedar=cedar,
+        cm5=cm5,
+        cedar_mflops_at_32=(min(at_32), max(at_32)),
+    )
+
+
+def render(study: PPT4Study) -> str:
+    rows = []
+    for point in study.cedar.points:
+        rows.append(
+            (
+                "cedar CG",
+                point.processors,
+                point.problem_size,
+                f"{point.mflops:.1f}",
+                f"{point.efficiency:.2f}",
+                point.band.value,
+            )
+        )
+    for bandwidth, result in study.cm5.items():
+        for point in result.points:
+            rows.append(
+                (
+                    f"cm5 bw={bandwidth}",
+                    point.processors,
+                    point.problem_size,
+                    f"{point.mflops:.1f}",
+                    f"{point.efficiency:.2f}",
+                    point.band.value,
+                )
+            )
+    table = format_table(
+        headers=("workload", "P", "N", "MFLOPS", "efficiency", "band"),
+        rows=rows,
+        title="PPT4: scalability of Cedar CG vs CM-5 banded matvec",
+    )
+    low, high = study.cedar_mflops_at_32
+    footer = (
+        f"\nCedar CG at P=32, N>=10K: {low:.0f}..{high:.0f} MFLOPS "
+        "(paper: 34..48); CM-5 per-processor rates roughly equivalent"
+    )
+    return table + footer

@@ -1,0 +1,117 @@
+"""Registry mapping paper artifact ids to experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.experiments import (
+    figure3,
+    network_ablation,
+    ppt4_scalability,
+    ppt5_scaling,
+    restructuring,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One regenerable artifact of the paper."""
+
+    key: str
+    description: str
+    run: Callable[[], object]
+    render: Callable[[object], str]
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    e.key: e
+    for e in (
+        Experiment(
+            "table1",
+            "MFLOPS for rank-64 update (GM/no-pref, GM/pref, GM/cache)",
+            table1.run,
+            table1.render,
+        ),
+        Experiment(
+            "table2",
+            "Global memory latency/interarrival for VL/TM/RK/CG",
+            table2.run,
+            table2.render,
+        ),
+        Experiment(
+            "table3",
+            "Perfect Benchmarks: times, MFLOPS, speed improvements",
+            table3.run,
+            table3.render,
+        ),
+        Experiment(
+            "table4",
+            "Manually optimized Perfect codes",
+            table4.run,
+            table4.render,
+        ),
+        Experiment(
+            "table5",
+            "Instability In(13, e) on Cedar, Cray 1, Y-MP/8",
+            table5.run,
+            table5.render,
+        ),
+        Experiment(
+            "table6",
+            "Restructuring efficiency bands (PPT3)",
+            table6.run,
+            table6.render,
+        ),
+        Experiment(
+            "figure3",
+            "YMP/8 vs Cedar efficiency scatter (manual codes)",
+            figure3.run,
+            figure3.render,
+        ),
+        Experiment(
+            "ppt4",
+            "Scalability: Cedar CG vs CM-5 banded matvec",
+            ppt4_scalability.run,
+            ppt4_scalability.render,
+        ),
+        Experiment(
+            "ppt5",
+            "Scaled-up Cedar reimplementation study (the deferred PPT5)",
+            ppt5_scaling.run,
+            ppt5_scaling.render,
+        ),
+        Experiment(
+            "restructuring",
+            "KAP-1988 vs automatable restructurer on a loop-nest gallery",
+            restructuring.run,
+            restructuring.render,
+        ),
+        Experiment(
+            "network-ablation",
+            "Degradation vs implementation constraints [Turn93]",
+            network_ablation.run,
+            network_ablation.render,
+        ),
+    )
+}
+
+
+def get_experiment(key: str) -> Experiment:
+    try:
+        return EXPERIMENTS[key]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {key!r}; known: {known}") from None
+
+
+def run_experiment(key: str) -> str:
+    """Run and render one experiment."""
+    experiment = get_experiment(key)
+    return experiment.render(experiment.run())

@@ -1,0 +1,65 @@
+"""Table 1: MFLOPS for the rank-64 update on Cedar.
+
+Three memory-system versions (GM/no-pref, GM/pref, GM/cache) across one to
+four clusters, regenerated on the cycle-level simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.config import CedarConfig, DEFAULT_CONFIG
+from repro.core.report import format_table
+from repro.kernels.rank_update import RankUpdateVersion, measure_rank_update
+
+#: The paper's Table 1, for side-by-side display.
+PAPER_VALUES: Dict[RankUpdateVersion, Tuple[float, float, float, float]] = {
+    RankUpdateVersion.GM_NO_PREFETCH: (14.5, 29.0, 43.0, 55.0),
+    RankUpdateVersion.GM_PREFETCH: (50.0, 84.0, 96.0, 104.0),
+    RankUpdateVersion.GM_CACHE: (52.0, 104.0, 152.0, 208.0),
+}
+
+CLUSTER_COUNTS = (1, 2, 3, 4)
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Measured MFLOPS per version per cluster count."""
+
+    mflops: Dict[RankUpdateVersion, Tuple[float, ...]]
+
+    def improvement_over_no_prefetch(
+        self, version: RankUpdateVersion
+    ) -> Tuple[float, ...]:
+        base = self.mflops[RankUpdateVersion.GM_NO_PREFETCH]
+        return tuple(
+            v / b for v, b in zip(self.mflops[version], base)
+        )
+
+
+def run(config: CedarConfig = DEFAULT_CONFIG) -> Table1Result:
+    """Regenerate every cell of Table 1 on the simulator."""
+    measured: Dict[RankUpdateVersion, Tuple[float, ...]] = {}
+    for version in RankUpdateVersion:
+        row = tuple(
+            measure_rank_update(version, clusters, config).mflops
+            for clusters in CLUSTER_COUNTS
+        )
+        measured[version] = row
+    return Table1Result(mflops=measured)
+
+
+def render(result: Table1Result) -> str:
+    rows = []
+    for version in RankUpdateVersion:
+        measured = result.mflops[version]
+        paper = PAPER_VALUES[version]
+        rows.append(
+            (version.value, *(f"{m:.1f} ({p:.0f})" for m, p in zip(measured, paper)))
+        )
+    return format_table(
+        headers=("version", "1 cl.", "2 cl.", "3 cl.", "4 cl."),
+        rows=rows,
+        title="Table 1: MFLOPS for rank-64 update on Cedar -- measured (paper)",
+    )

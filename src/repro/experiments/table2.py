@@ -1,0 +1,101 @@
+"""Table 2: global memory performance under prefetching.
+
+First-word latency and interarrival time (in CE cycles) for the VL, TM, RK
+and CG kernels at 8, 16 and 32 processors, measured by the performance-
+monitoring hardware exactly as Section 4.1 describes.  Minimal latency is
+8 cycles; minimal interarrival is 1 cycle.  The expected shape: near-
+minimal at one cluster, degrading with CE count; RK (256-word blocks,
+fully overlapped) degrades fastest; TM and CG least, thanks to their
+register-register operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.config import CedarConfig, DEFAULT_CONFIG
+from repro.core.report import format_table
+from repro.kernels.common import KernelRun
+from repro.kernels.conjugate_gradient import measure_cg
+from repro.kernels.rank_update import RankUpdateVersion, measure_rank_update
+from repro.kernels.tridiag_matvec import measure_tridiag
+from repro.kernels.vector_load import measure_vector_load
+
+CE_COUNTS = (8, 16, 32)
+
+
+def _measure_rk(num_ces: int, config: CedarConfig) -> KernelRun:
+    clusters = max(1, num_ces // config.ces_per_cluster)
+    return measure_rank_update(RankUpdateVersion.GM_PREFETCH, clusters, config)
+
+
+def _measure_cg(num_ces: int, config: CedarConfig) -> KernelRun:
+    return measure_cg(num_ces, num_ces * 512, config)
+
+
+KERNELS: Dict[str, Callable[[int, CedarConfig], KernelRun]] = {
+    "VL": lambda n, c: measure_vector_load(n, c),
+    "TM": lambda n, c: measure_tridiag(n, c),
+    "RK": _measure_rk,
+    "CG": _measure_cg,
+}
+
+
+@dataclass(frozen=True)
+class Table2Cell:
+    latency: float
+    interarrival: float
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """(kernel, CE count) -> latency/interarrival in cycles."""
+
+    cells: Dict[Tuple[str, int], Table2Cell]
+
+    def latency_series(self, kernel: str) -> List[float]:
+        return [self.cells[(kernel, n)].latency for n in CE_COUNTS]
+
+    def interarrival_series(self, kernel: str) -> List[float]:
+        return [self.cells[(kernel, n)].interarrival for n in CE_COUNTS]
+
+
+def run(config: CedarConfig = DEFAULT_CONFIG) -> Table2Result:
+    cells: Dict[Tuple[str, int], Table2Cell] = {}
+    for name, measure in KERNELS.items():
+        for count in CE_COUNTS:
+            result = measure(count, config)
+            if result.first_word_latency is None:
+                raise RuntimeError(f"{name} produced no prefetch statistics")
+            cells[(name, count)] = Table2Cell(
+                latency=result.first_word_latency,
+                interarrival=result.interarrival or 0.0,
+            )
+    return Table2Result(cells=cells)
+
+
+def render(result: Table2Result) -> str:
+    rows = []
+    for kernel in KERNELS:
+        latency = result.latency_series(kernel)
+        inter = result.interarrival_series(kernel)
+        rows.append(
+            (
+                kernel,
+                *(f"{l:.1f}" for l in latency),
+                *(f"{i:.2f}" for i in inter),
+            )
+        )
+    return format_table(
+        headers=(
+            "kernel",
+            "lat@8", "lat@16", "lat@32",
+            "inter@8", "inter@16", "inter@32",
+        ),
+        rows=rows,
+        title=(
+            "Table 2: global memory performance (cycles; min latency 8, "
+            "min interarrival 1)"
+        ),
+    )

@@ -1,0 +1,80 @@
+"""Table 3: Cedar execution time, MFLOPS, and speed improvement for the
+Perfect Benchmarks, across the measured version ladder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.baselines.cray_ymp import CRAY_YMP8
+from repro.core.metrics import harmonic_mean
+from repro.core.report import format_table
+from repro.perfect.suite import PerfectResult, code_names, run_suite
+from repro.perfect.versions import Version
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """The full version grid plus the YMP comparison columns."""
+
+    grid: Dict[str, Dict[Version, PerfectResult]]
+
+    def cedar_mflops(self) -> Dict[str, float]:
+        return {
+            code: versions[Version.AUTOMATABLE].mflops
+            for code, versions in self.grid.items()
+        }
+
+    def harmonic_mean_mflops(self) -> float:
+        return harmonic_mean(list(self.cedar_mflops().values()))
+
+    def ymp_ratio(self) -> float:
+        """Harmonic-mean MFLOPS ratio, Y-MP/8 over Cedar."""
+        ymp = harmonic_mean(list(CRAY_YMP8.mflops_ensemble().values()))
+        return ymp / self.harmonic_mean_mflops()
+
+
+def run() -> Table3Result:
+    return Table3Result(grid=run_suite())
+
+
+def render(result: Table3Result) -> str:
+    rows = []
+    ymp = CRAY_YMP8.mflops_ensemble()
+    for code in code_names():
+        versions = result.grid[code]
+        auto = versions[Version.AUTOMATABLE]
+        rows.append(
+            (
+                code,
+                f"{auto.serial_seconds:.0f}",
+                f"{versions[Version.KAP].improvement:.1f}",
+                f"{auto.seconds:.0f}",
+                f"{auto.improvement:.1f}",
+                f"{versions[Version.AUTOMATABLE_NO_SYNC].seconds:.0f}",
+                f"{versions[Version.AUTOMATABLE_NO_PREFETCH].seconds:.0f}",
+                f"{auto.mflops:.2f}",
+                f"{ymp[code] / auto.mflops:.1f}",
+            )
+        )
+    table = format_table(
+        headers=(
+            "code",
+            "serial s",
+            "KAP impr",
+            "auto s",
+            "auto impr",
+            "no-sync s",
+            "no-pref s",
+            "MFLOPS",
+            "YMP/Cedar",
+        ),
+        rows=rows,
+        title="Table 3: Perfect Benchmarks on Cedar (automatable ladder)",
+    )
+    footer = (
+        f"\nharmonic-mean MFLOPS: Cedar {result.harmonic_mean_mflops():.2f}, "
+        f"YMP/Cedar ratio {result.ymp_ratio():.1f} "
+        "(paper: 23.7 and 7.4; see EXPERIMENTS.md on the In/HM tension)"
+    )
+    return table + footer

@@ -1,0 +1,68 @@
+"""Table 4: execution times for manually altered Perfect codes and their
+improvement over automatable-with-prefetch-without-Cedar-synchronization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.report import format_table
+from repro.perfect.suite import code_names, get_profile, run_code
+from repro.perfect.targets import TARGETS
+from repro.perfect.versions import Version
+
+#: Codes whose hand optimizations the paper's Table 4 lists.
+TABLE4_CODES = ("ARC3D", "BDNA", "DYFESM", "FLO52", "QCD", "SPICE", "TRFD")
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    code: str
+    hand_seconds: float
+    improvement: float  # over the no-sync automatable version (Table 4 basis)
+    paper_seconds: Optional[float]
+    paper_improvement: Optional[float]
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    rows: Tuple[Table4Row, ...]
+
+
+def run() -> Table4Result:
+    rows = []
+    for code in TABLE4_CODES:
+        hand = run_code(code, Version.HAND)
+        nosync = run_code(code, Version.AUTOMATABLE_NO_SYNC)
+        target = TARGETS[code]
+        rows.append(
+            Table4Row(
+                code=code,
+                hand_seconds=hand.seconds,
+                improvement=nosync.seconds / hand.seconds,
+                paper_seconds=target.hand_seconds,
+                paper_improvement=target.hand_improvement,
+            )
+        )
+    return Table4Result(rows=tuple(rows))
+
+
+def render(result: Table4Result) -> str:
+    rows = [
+        (
+            row.code,
+            f"{row.hand_seconds:.1f}",
+            f"{row.improvement:.2f}",
+            f"{row.paper_seconds:.1f}" if row.paper_seconds else "-",
+            f"{row.paper_improvement:.1f}" if row.paper_improvement else "-",
+        )
+        for row in result.rows
+    ]
+    return format_table(
+        headers=("code", "time s", "improvement", "paper s", "paper impr"),
+        rows=rows,
+        title=(
+            "Table 4: manually altered Perfect codes (improvement over "
+            "automatable w/ prefetch, w/o Cedar sync)"
+        ),
+    )

@@ -1,0 +1,118 @@
+"""Analysis tools for performance-monitor data.
+
+"Software tools start and stop the experiments and move the data collected
+by the performance hardware to workstations for analysis" (Section 2).
+These are those workstation-side tools: phase timelines from software
+events, signal utilization, and latency distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import MonitorError
+from repro.hardware.monitor import EventTracer, Histogrammer, PerformanceMonitor
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One program phase recovered from begin/end software events."""
+
+    name: str
+    start_cycle: int
+    end_cycle: int
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+
+def phase_timeline(tracer: EventTracer) -> List[Phase]:
+    """Pair ``<name>-begin`` / ``<name>-end`` events into phases.
+
+    Nested or repeated phases are supported; unmatched begins raise.
+    """
+    open_phases: Dict[str, List[int]] = {}
+    phases: List[Phase] = []
+    for event in tracer.events():
+        if event.signal.endswith("-begin"):
+            name = event.signal[: -len("-begin")]
+            open_phases.setdefault(name, []).append(event.cycle)
+        elif event.signal.endswith("-end"):
+            name = event.signal[: -len("-end")]
+            starts = open_phases.get(name)
+            if not starts:
+                raise MonitorError(f"phase {name!r} ended without beginning")
+            phases.append(
+                Phase(name=name, start_cycle=starts.pop(),
+                      end_cycle=event.cycle)
+            )
+    dangling = [name for name, starts in open_phases.items() if starts]
+    if dangling:
+        raise MonitorError(f"phases never ended: {', '.join(sorted(dangling))}")
+    return sorted(phases, key=lambda p: p.start_cycle)
+
+
+def phase_summary(phases: Sequence[Phase]) -> Dict[str, int]:
+    """Total cycles per phase name."""
+    totals: Dict[str, int] = {}
+    for phase in phases:
+        totals[phase.name] = totals.get(phase.name, 0) + phase.cycles
+    return totals
+
+
+@dataclass(frozen=True)
+class LatencyDistribution:
+    """Summary of a latency histogram (Table 2's analysis view)."""
+
+    mean: float
+    p50: int
+    p90: int
+    maximum: int
+    samples: int
+
+
+def summarize_histogram(histogram: Histogrammer) -> LatencyDistribution:
+    """Mean/percentile/extreme view of a histogrammer's contents."""
+    counts = histogram.counts()
+    if not counts:
+        raise MonitorError("cannot summarize an empty histogram")
+    maximum = max(counts) * histogram.bin_width
+    return LatencyDistribution(
+        mean=histogram.mean(),
+        p50=histogram.percentile(0.5),
+        p90=histogram.percentile(0.9),
+        maximum=maximum,
+        samples=histogram.total,
+    )
+
+
+def utilization(
+    busy_cycles: float, elapsed_cycles: float
+) -> float:
+    """Fraction of time a monitored unit was busy."""
+    if elapsed_cycles <= 0:
+        raise MonitorError("elapsed window must be positive")
+    if busy_cycles < 0 or busy_cycles > elapsed_cycles:
+        raise MonitorError(
+            f"busy cycles {busy_cycles} outside [0, {elapsed_cycles}]"
+        )
+    return busy_cycles / elapsed_cycles
+
+
+def module_utilizations(machine, elapsed_cycles: int) -> List[float]:
+    """Per-memory-module utilization over a finished run."""
+    return [
+        utilization(min(m.busy_cycles, elapsed_cycles), elapsed_cycles)
+        for m in machine.global_memory.modules
+    ]
+
+
+def hot_modules(machine, elapsed_cycles: int, threshold: float = 0.8) -> List[int]:
+    """Module indices whose utilization exceeds ``threshold``."""
+    return [
+        index
+        for index, value in enumerate(module_utilizations(machine, elapsed_cycles))
+        if value > threshold
+    ]

@@ -1,0 +1,74 @@
+"""One Alliant FX/8 cluster: eight CEs, shared cache, cluster memory, CCB."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.config import CedarConfig
+from repro.hardware.cache import ClusterCache
+from repro.hardware.ccb import BodyFactory, ConcurrencyControlBus
+from repro.hardware.ce import ComputationalElement, KernelFactory
+from repro.hardware.engine import Engine
+from repro.hardware.network import OmegaNetwork
+
+
+class Cluster:
+    """A slightly modified Alliant FX/8, as integrated into Cedar."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: CedarConfig,
+        index: int,
+        forward: OmegaNetwork,
+        reverse: OmegaNetwork,
+        monitor=None,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.index = index
+        self.cache = ClusterCache(
+            engine, config.cache, config.cluster_memory, name=f"cl{index}.cache"
+        )
+        self.ces: List[ComputationalElement] = [
+            ComputationalElement(
+                engine=engine,
+                config=config,
+                global_port=index * config.ces_per_cluster + ce,
+                forward=forward,
+                reverse=reverse,
+                cache=self.cache,
+                memory_port_of=lambda a: a % config.global_memory.num_modules,
+                monitor=monitor,
+                cluster_index=index,
+                index_in_cluster=ce,
+            )
+            for ce in range(config.ces_per_cluster)
+        ]
+        self.ccb = ConcurrencyControlBus(config.ccb, self.ces)
+
+    def cdoall(
+        self,
+        num_iterations: int,
+        body: BodyFactory,
+        on_done: Optional[Callable[[], None]] = None,
+        static: bool = False,
+    ) -> None:
+        """Run a CDOALL over this cluster via the concurrency control bus."""
+        self.ccb.concurrent_start(num_iterations, body, on_done=on_done, static=static)
+
+    def run_on_all(self, kernel: KernelFactory, on_done=None) -> None:
+        """Run the same kernel coroutine on every CE of the cluster."""
+        remaining = {"count": len(self.ces)}
+
+        def one_done() -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0 and on_done is not None:
+                on_done()
+
+        for ce in self.ces:
+            ce.run(kernel, on_done=one_done)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(ce.flops for ce in self.ces)

@@ -1,0 +1,71 @@
+"""Explicit data movement between global and cluster memory.
+
+"Data can be moved between cluster and global shared memory only via
+explicit moves under software control" (Section 2).  Coherence between
+copies of globally shared data residing in cluster memories is maintained in
+software; the helpers here are the simulator-side equivalent of the run-time
+library's block-move routines, written as micro-operation generators that a
+kernel coroutine can ``yield from``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.hardware.ce import (
+    ArmFirePrefetch,
+    AwaitPrefetch,
+    ComputationalElement,
+    GlobalStores,
+)
+
+
+def move_global_to_cluster(
+    ce: ComputationalElement,
+    start_address: int,
+    length: int,
+    stride: int = 1,
+    install_dirty: bool = False,
+) -> Iterator[object]:
+    """Copy a block from global memory into the cluster's cached work array.
+
+    The move streams through the CE's prefetch unit in buffer-sized chunks
+    (the PFU issues up to 512 requests without pausing) and installs the
+    destination lines in the cluster cache, which is how the GM/cache rank-64
+    version gets its submatrix into "a cached work array in each cluster".
+    """
+    if length < 0:
+        raise ValueError(f"move length must be >= 0, got {length}")
+    buffer_words = ce.config.prefetch.buffer_words
+    moved = 0
+    while moved < length:
+        chunk = min(buffer_words, length - moved)
+        handle = yield ArmFirePrefetch(
+            length=chunk,
+            stride=stride,
+            start_address=start_address + moved * stride,
+        )
+        yield AwaitPrefetch(handle)
+        ce.cache.install_block(start_address + moved * stride, chunk * abs(stride),
+                               dirty=install_dirty)
+        moved += chunk
+
+
+def move_cluster_to_global(
+    ce: ComputationalElement,
+    start_address: int,
+    length: int,
+    stride: int = 1,
+) -> Iterator[object]:
+    """Copy a block from the cluster work array back to global memory.
+
+    Reads hit the cluster cache (reserving its bandwidth) and the writes
+    stream into the forward network; global writes are not acknowledged
+    (weak ordering), so the move completes when the last store is issued.
+    """
+    if length < 0:
+        raise ValueError(f"move length must be >= 0, got {length}")
+    if length == 0:
+        return
+    ce.cache.stream(length, resident=True)
+    yield GlobalStores(start_address=start_address, length=length, stride=stride)

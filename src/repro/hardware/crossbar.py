@@ -1,0 +1,144 @@
+"""An 8x8 crossbar switch with queued ports (Section 2, "Global Network").
+
+Each switch has a bounded word-queue per input port and a round-robin
+arbiter per output port.  An arbiter takes ``packet.words`` cycles (one word
+per cycle over the 64-bit data path) to move the head packet of an input
+queue to the downstream queue, and blocks -- exerting back-pressure through
+the flow control -- when the downstream queue is full.
+
+Modelling note: the hardware has a two-word queue on the input *and* output
+side of every port.  We fold each output queue into the downstream stage's
+input queue (doubling its capacity) so that a hop costs one arbitration
+rather than two; the total buffering per port pair and the back-pressure
+behaviour are preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.hardware.engine import Engine
+from repro.hardware.packet import Packet
+from repro.hardware.queueing import BoundedWordQueue
+
+RouteFunction = Callable[[Packet], int]
+
+
+class _OutputArbiter:
+    """Round-robin arbiter for one crossbar output."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        switch: "CrossbarSwitch",
+        output_index: int,
+        cycles_per_word: int,
+    ) -> None:
+        self.engine = engine
+        self.switch = switch
+        self.output_index = output_index
+        self.cycles_per_word = cycles_per_word
+        self._busy = False
+        self._next_input = 0
+        self._in_flight: Optional[Packet] = None
+        self._sink: Optional[BoundedWordQueue] = None
+
+    def attach(self, sink: BoundedWordQueue) -> None:
+        self._sink = sink
+
+    def wake(self) -> None:
+        """Try to start a transfer; called on input pushes and sink drains."""
+        if self._busy or self._sink is None:
+            return
+        chosen = self._select_input()
+        if chosen is None:
+            return
+        self._busy = True
+        packet = self.switch.input_queues[chosen].pop()
+        self._next_input = (chosen + 1) % len(self.switch.input_queues)
+        self._in_flight = packet
+        self.engine.schedule(
+            max(1, packet.words * self.cycles_per_word), self._finish
+        )
+        # Popping may have exposed a new head packet bound for a sibling
+        # output; let the other arbiters re-scan (deferred to avoid deep
+        # recursion chains through listener callbacks).
+        self.engine.schedule(0, self.switch.wake_all)
+
+    def _select_input(self) -> Optional[int]:
+        """Next input (round-robin) whose head routes here and fits downstream."""
+        queues = self.switch.input_queues
+        assert self._sink is not None
+        for offset in range(len(queues)):
+            index = (self._next_input + offset) % len(queues)
+            head = queues[index].head()
+            if head is None:
+                continue
+            if self.switch.route(head) != self.output_index:
+                continue
+            if self._sink.can_accept(head):
+                return index
+            # Head routed here but downstream is full: wait for space.  The
+            # space waiter re-wakes this arbiter, which re-scans fairly.
+            self._sink.wait_for_space(self.wake)
+            return None
+        return None
+
+    def _finish(self) -> None:
+        packet = self._in_flight
+        assert packet is not None and self._sink is not None
+        # Space was checked before the transfer started and only this
+        # arbiter pushes into its sink slot contribution, but a merged sink
+        # queue can be shared with other switches' arbiters -- re-check.
+        if self._sink.can_accept(packet):
+            self._sink.push(packet)
+            self._in_flight = None
+            self._busy = False
+            self.wake()
+        else:
+            self._sink.wait_for_space(self._finish)
+
+
+class CrossbarSwitch:
+    """A radix-N crossbar: N input queues, N output arbiters."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        radix: int,
+        route: RouteFunction,
+        queue_words: int,
+        cycles_per_word: int = 1,
+        name: str = "",
+    ) -> None:
+        if radix < 2:
+            raise ValueError(f"crossbar radix must be >= 2, got {radix}")
+        self.engine = engine
+        self.radix = radix
+        self.route = route
+        self.name = name
+        self.input_queues: List[BoundedWordQueue] = [
+            BoundedWordQueue(queue_words, name=f"{name}.in[{i}]")
+            for i in range(radix)
+        ]
+        self.arbiters: List[_OutputArbiter] = [
+            _OutputArbiter(engine, self, o, cycles_per_word) for o in range(radix)
+        ]
+        for queue in self.input_queues:
+            queue.add_item_listener(self._on_arrival)
+
+    def _on_arrival(self) -> None:
+        self.wake_all()
+
+    def wake_all(self) -> None:
+        """Give every output arbiter a chance to pick up a head packet."""
+        for arbiter in self.arbiters:
+            arbiter.wake()
+
+    def connect_output(self, output_index: int, sink: BoundedWordQueue) -> None:
+        """Wire output ``output_index`` into a downstream queue."""
+        self.arbiters[output_index].attach(sink)
+
+    def occupancy_words(self) -> int:
+        """Words currently buffered in this switch's input queues."""
+        return sum(q.used_words for q in self.input_queues)

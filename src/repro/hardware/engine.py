@@ -1,0 +1,85 @@
+"""Discrete-event simulation core.
+
+Time is measured in integer CE instruction cycles (170 ns each).  Components
+schedule callbacks at absolute cycles; ties are broken by scheduling order so
+runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+class Engine:
+    """A deterministic event queue over an integer cycle clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[int, int, Callback]] = []
+        self._sequence = itertools.count()
+        self._now = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    def schedule(self, delay: int, callback: Callback) -> None:
+        """Run ``callback`` ``delay`` cycles from now (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), callback))
+
+    def schedule_at(self, cycle: int, callback: Callback) -> None:
+        """Run ``callback`` at absolute time ``cycle``."""
+        self.schedule(cycle - self._now, callback)
+
+    def pending(self) -> int:
+        """Number of events not yet dispatched."""
+        return len(self._queue)
+
+    def run(self, until: Optional[int] = None, max_events: int = 50_000_000) -> int:
+        """Dispatch events in time order.
+
+        Args:
+            until: Stop once the clock would pass this cycle (events at
+                exactly ``until`` still run).  ``None`` runs to exhaustion.
+            max_events: Safety valve against runaway simulations.
+
+        Returns:
+            The simulation time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        try:
+            dispatched = 0
+            while self._queue:
+                time, _, callback = self._queue[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = time
+                callback()
+                dispatched += 1
+                if dispatched > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; simulation is runaway"
+                    )
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def run_until_idle(self) -> int:
+        """Run until no events remain; returns the final time."""
+        return self.run(until=None)

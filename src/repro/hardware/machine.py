@@ -1,0 +1,151 @@
+"""The assembled Cedar machine: four clusters, two networks, global memory.
+
+This is the top-level object kernels run against.  ``CedarMachine`` wires the
+forward and reverse shuffle-exchange networks between the CEs and the
+interleaved global-memory modules, attaches a synchronization processor to
+every module, and exposes convenience entry points for running kernel
+coroutines on subsets of the machine and reading back MFLOPS.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.config import CE_CYCLE_SECONDS, CedarConfig, DEFAULT_CONFIG
+from repro.errors import SimulationError
+from repro.hardware.ce import ComputationalElement, KernelFactory
+from repro.hardware.cluster import Cluster
+from repro.hardware.engine import Engine
+from repro.hardware.memory import GlobalMemory
+from repro.hardware.monitor import PerformanceMonitor
+from repro.hardware.network import OmegaNetwork
+from repro.hardware.packet import Packet
+from repro.hardware.sync_processor import OperateOp, SyncProcessor, TestOp
+from repro.hardware.vm import VirtualMemory
+
+
+def _default_sync_handler(packet: Packet, sync: SyncProcessor) -> object:
+    """Execute the synchronization instruction carried by a SYNC packet."""
+    payload = packet.payload
+    if not isinstance(payload, dict):
+        raise SimulationError("sync request without an instruction payload")
+    if payload.get("test_and_set"):
+        return sync.test_and_set(packet.address)
+    return sync.test_and_operate(
+        address=packet.address,
+        test=payload.get("test", TestOp.ALWAYS),
+        key=payload.get("key", 0),
+        op=payload.get("op", OperateOp.READ),
+        operand=payload.get("operand", 0),
+    )
+
+
+class CedarMachine:
+    """The full system of Figure 1."""
+
+    def __init__(self, config: CedarConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+        self.engine = Engine()
+        self.monitor = PerformanceMonitor(config.monitor)
+        ports = max(config.num_ces, config.global_memory.num_modules)
+        self.forward = OmegaNetwork(self.engine, ports, config.network, name="fwd")
+        self.reverse = OmegaNetwork(self.engine, ports, config.network, name="rev")
+        self.global_memory = GlobalMemory(
+            engine=self.engine,
+            config=config.global_memory,
+            sync_config=config.sync,
+            forward=self.forward,
+            reverse=self.reverse,
+            sync_handler=_default_sync_handler,
+        )
+        self.clusters: List[Cluster] = [
+            Cluster(
+                engine=self.engine,
+                config=config,
+                index=i,
+                forward=self.forward,
+                reverse=self.reverse,
+                monitor=self.monitor,
+            )
+            for i in range(config.num_clusters)
+        ]
+        self.vm = VirtualMemory(config.vm, config.num_clusters)
+
+    # -- CE selection --------------------------------------------------------
+
+    @property
+    def all_ces(self) -> List[ComputationalElement]:
+        return [ce for cluster in self.clusters for ce in cluster.ces]
+
+    def ces(self, count: int) -> List[ComputationalElement]:
+        """The first ``count`` CEs, filled cluster by cluster (as the paper's
+        8/16/32-processor experiments were run)."""
+        if not 1 <= count <= self.config.num_ces:
+            raise SimulationError(
+                f"machine has {self.config.num_ces} CEs, asked for {count}"
+            )
+        return self.all_ces[:count]
+
+    # -- running kernels -------------------------------------------------------
+
+    def run_kernel(
+        self,
+        kernel: KernelFactory,
+        num_ces: Optional[int] = None,
+        until: Optional[int] = None,
+    ) -> int:
+        """Run one kernel factory on N CEs until all complete.
+
+        Returns the cycle at which the last CE finished.
+        """
+        selected = self.ces(num_ces or self.config.num_ces)
+        done = {"remaining": len(selected), "at": 0}
+
+        def one_done() -> None:
+            done["remaining"] -= 1
+            done["at"] = self.engine.now
+
+        for ce in selected:
+            ce.run(kernel, on_done=one_done)
+        self.engine.run(until=until)
+        if done["remaining"] != 0:
+            raise SimulationError(
+                f"{done['remaining']} CEs never finished (deadlock or until= too small)"
+            )
+        return done["at"]
+
+    def run_per_ce(
+        self,
+        kernels: Sequence[KernelFactory],
+        until: Optional[int] = None,
+    ) -> int:
+        """Run a distinct kernel on each of the first len(kernels) CEs."""
+        selected = self.ces(len(kernels))
+        done = {"remaining": len(selected), "at": 0}
+
+        def one_done() -> None:
+            done["remaining"] -= 1
+            done["at"] = self.engine.now
+
+        for ce, kernel in zip(selected, kernels):
+            ce.run(kernel, on_done=one_done)
+        self.engine.run(until=until)
+        if done["remaining"] != 0:
+            raise SimulationError("not all CEs finished")
+        return done["at"]
+
+    # -- measurement -----------------------------------------------------------
+
+    @property
+    def total_flops(self) -> float:
+        return sum(ce.flops for ce in self.all_ces)
+
+    def mflops(self, cycles: int, flops: Optional[float] = None) -> float:
+        """Delivered MFLOPS over a window of ``cycles``."""
+        if cycles <= 0:
+            raise SimulationError(f"need a positive cycle window, got {cycles}")
+        work = self.total_flops if flops is None else flops
+        return work / (cycles * CE_CYCLE_SECONDS) / 1e6
+
+    def seconds(self, cycles: int) -> float:
+        return cycles * CE_CYCLE_SECONDS

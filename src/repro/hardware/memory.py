@@ -1,0 +1,149 @@
+"""Interleaved global-memory modules (Section 2, "Memory Hierarchy").
+
+Global memory is double-word (8-byte) interleaved and aligned; each module
+serves one word per ``module_cycle_time`` cycles, giving the system its
+768 MB/s peak.  A module pulls requests from its forward-network delivery
+queue (so a busy module back-pressures the network), services them in FIFO
+order, and injects replies into the reverse network -- stalling, again with
+back-pressure, when the reverse network entry is full.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.config import GlobalMemoryConfig, SyncConfig
+from repro.errors import SimulationError
+from repro.hardware.engine import Engine
+from repro.hardware.network import OmegaNetwork
+from repro.hardware.packet import Packet, PacketKind
+from repro.hardware.queueing import BoundedWordQueue
+from repro.hardware.sync_processor import SyncProcessor
+
+
+def module_for_address(address: int, num_modules: int) -> int:
+    """Module serving a word address (double-word interleave)."""
+    return address % num_modules
+
+
+class MemoryModule:
+    """One global-memory module with its synchronization processor."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        index: int,
+        config: GlobalMemoryConfig,
+        sync_config: SyncConfig,
+        forward_queue: BoundedWordQueue,
+        reverse: OmegaNetwork,
+        sync_handler: Optional[Callable[[Packet, SyncProcessor], object]] = None,
+    ) -> None:
+        self.engine = engine
+        self.index = index
+        self.config = config
+        self.sync_config = sync_config
+        self.forward_queue = forward_queue
+        self.reverse = reverse
+        self.sync = SyncProcessor()
+        self._sync_handler = sync_handler
+        self._busy = False
+        self._pending_reply: Optional[Packet] = None
+        self.requests_served = 0
+        self.busy_cycles = 0
+        forward_queue.add_item_listener(self._wake)
+
+    def _wake(self) -> None:
+        if self._busy or self._pending_reply is not None:
+            return
+        if self.forward_queue.head() is None:
+            return
+        self._busy = True
+        request = self.forward_queue.pop()
+        service = self._service_cycles(request)
+        self.busy_cycles += service
+        self.engine.schedule(service, lambda: self._complete(request))
+
+    def _service_cycles(self, request: Packet) -> int:
+        cycles = self.config.module_cycle_time * max(1, request.payload_words or 1)
+        if request.kind is PacketKind.SYNC_REQUEST:
+            cycles += self.sync_config.operate_cycles
+        return cycles
+
+    def _complete(self, request: Packet) -> None:
+        self.requests_served += 1
+        reply = self._build_reply(request)
+        self._busy = False
+        if reply is None:
+            self._wake()
+            return
+        # One cycle moves the reply through the module's reverse-network
+        # port register; the next access cannot start until the register
+        # drains, so a saturated module departs one word per
+        # (module_cycle_time + 1) cycles -- the implementation constraint
+        # behind the contention Table 2 observes.  Uncontended first-word
+        # latency stays at the paper's 8-cycle minimum: 2 forward stages +
+        # 3-cycle module + 1 handoff + 2 reverse stages.
+        self._pending_reply = reply
+        self.engine.schedule(1, self._retry_reply)
+
+    def _build_reply(self, request: Packet) -> Optional[Packet]:
+        now = self.engine.now
+        if request.kind is PacketKind.READ_REQUEST:
+            return request.reply(PacketKind.READ_REPLY, words=1, issue_cycle=now)
+        if request.kind is PacketKind.WRITE_REQUEST:
+            # Writes do not stall a CE (Section 2); the machine is weakly
+            # ordered, so no acknowledgement packet is modelled.
+            return None
+        if request.kind is PacketKind.SYNC_REQUEST:
+            outcome = None
+            if self._sync_handler is not None:
+                outcome = self._sync_handler(request, self.sync)
+            return request.reply(
+                PacketKind.SYNC_REPLY, words=1, issue_cycle=now, payload=outcome
+            )
+        raise SimulationError(f"module received unexpected packet {request.kind}")
+
+    def _retry_reply(self) -> None:
+        reply = self._pending_reply
+        if reply is None:
+            return
+        if self.reverse.try_inject(self.index, reply):
+            self._pending_reply = None
+            self._wake()
+        else:
+            self.reverse.on_entry_space(self.index, lambda: self._retry_reply())
+
+
+class GlobalMemory:
+    """All modules plus address-to-module steering."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: GlobalMemoryConfig,
+        sync_config: SyncConfig,
+        forward: OmegaNetwork,
+        reverse: OmegaNetwork,
+        sync_handler: Optional[Callable[[Packet, SyncProcessor], object]] = None,
+    ) -> None:
+        self.config = config
+        self.modules = [
+            MemoryModule(
+                engine=engine,
+                index=i,
+                config=config,
+                sync_config=sync_config,
+                forward_queue=forward.delivery_queue(i),
+                reverse=reverse,
+                sync_handler=sync_handler,
+            )
+            for i in range(config.num_modules)
+        ]
+
+    def module_for(self, address: int) -> MemoryModule:
+        return self.modules[module_for_address(address, self.config.num_modules)]
+
+    @property
+    def total_requests_served(self) -> int:
+        return sum(m.requests_served for m in self.modules)

@@ -1,0 +1,174 @@
+"""Performance-monitoring hardware (Section 2, "Performance monitoring").
+
+Cedar relies on external hardware that collects time-stamped event traces
+and histograms of hardware signals: "The event tracers can each collect 1M
+events and the histogrammers have 64K 32-bit counters.  These can be
+cascaded to capture more events."  Programs can also post software events.
+
+The simulator exposes the same two instruments.  Table 2's first-word
+latency and interarrival measurements are taken exactly as the paper
+describes: by recording when an address leaves a prefetch unit for the
+forward network and when each datum returns via the reverse network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.config import MonitorConfig
+from repro.errors import MonitorError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One time-stamped event captured by a tracer."""
+
+    cycle: int
+    signal: str
+    value: int = 0
+
+
+class EventTracer:
+    """A hardware event tracer: bounded, cascadable capture of events."""
+
+    def __init__(self, config: MonitorConfig, cascade: int = 1) -> None:
+        if cascade < 1:
+            raise MonitorError(f"cascade factor must be >= 1, got {cascade}")
+        self.capacity = config.tracer_capacity_events * cascade
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+        self._armed = False
+
+    def start(self) -> None:
+        self._armed = True
+
+    def stop(self) -> None:
+        self._armed = False
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    def post(self, cycle: int, signal: str, value: int = 0) -> None:
+        """Capture an event (hardware signal or software-posted)."""
+        if not self._armed:
+            return
+        if len(self._events) >= self.capacity:
+            self.dropped += 1
+            return
+        self._events.append(TraceEvent(cycle=cycle, signal=signal, value=value))
+
+    def events(self, signal: Optional[str] = None) -> List[TraceEvent]:
+        """Captured events, optionally filtered by signal name."""
+        if signal is None:
+            return list(self._events)
+        return [e for e in self._events if e.signal == signal]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class Histogrammer:
+    """64K 32-bit counters indexed by a binned signal value."""
+
+    _COUNTER_MAX = 2**32 - 1
+
+    def __init__(self, config: MonitorConfig, bin_width: int = 1) -> None:
+        if bin_width < 1:
+            raise MonitorError(f"bin width must be >= 1, got {bin_width}")
+        self.num_counters = config.histogrammer_counters
+        self.bin_width = bin_width
+        self._counters: Dict[int, int] = {}
+        self.overflow = 0
+
+    def record(self, value: int) -> None:
+        """Increment the counter for ``value``'s bin (saturating)."""
+        if value < 0:
+            raise MonitorError(f"histogram values are non-negative, got {value}")
+        bin_index = value // self.bin_width
+        if bin_index >= self.num_counters:
+            self.overflow += 1
+            return
+        current = self._counters.get(bin_index, 0)
+        if current < self._COUNTER_MAX:
+            self._counters[bin_index] = current + 1
+
+    def counts(self) -> Dict[int, int]:
+        """Non-zero (bin index -> count) pairs."""
+        return dict(self._counters)
+
+    @property
+    def total(self) -> int:
+        return sum(self._counters.values())
+
+    def mean(self) -> float:
+        """Mean of the recorded values, using bin midpoints for width > 1."""
+        if not self._counters:
+            raise MonitorError("histogram is empty")
+        weighted = sum(
+            (index * self.bin_width + (self.bin_width - 1) / 2) * count
+            for index, count in self._counters.items()
+        )
+        return weighted / self.total
+
+    def percentile(self, fraction: float) -> int:
+        """Smallest bin value at or above the given cumulative fraction."""
+        if not 0 < fraction <= 1:
+            raise MonitorError(f"fraction must be in (0, 1], got {fraction}")
+        if not self._counters:
+            raise MonitorError("histogram is empty")
+        target = fraction * self.total
+        cumulative = 0
+        for index in sorted(self._counters):
+            cumulative += self._counters[index]
+            if cumulative >= target:
+                return index * self.bin_width
+        raise AssertionError("unreachable: cumulative covers total")
+
+
+class PerformanceMonitor:
+    """The workstation-side collection of tracers and histogrammers."""
+
+    def __init__(self, config: MonitorConfig) -> None:
+        self.config = config
+        self._tracers: Dict[str, EventTracer] = {}
+        self._histograms: Dict[str, Histogrammer] = {}
+
+    def tracer(self, name: str, cascade: int = 1) -> EventTracer:
+        """Get or create a named event tracer."""
+        if name not in self._tracers:
+            self._tracers[name] = EventTracer(self.config, cascade=cascade)
+        return self._tracers[name]
+
+    def histogram(self, name: str, bin_width: int = 1) -> Histogrammer:
+        """Get or create a named histogrammer."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogrammer(self.config, bin_width=bin_width)
+        return self._histograms[name]
+
+    def start_all(self) -> None:
+        for tracer in self._tracers.values():
+            tracer.start()
+
+    def stop_all(self) -> None:
+        for tracer in self._tracers.values():
+            tracer.stop()
+
+    def record_prefetch(self, handle) -> None:
+        """File one completed prefetch's Table 2 metrics.
+
+        Args:
+            handle: A completed :class:`repro.hardware.prefetch.PrefetchHandle`.
+        """
+        self.histogram("first_word_latency").record(handle.first_word_latency())
+        interarrival = self.histogram("interarrival")
+        for gap in handle.interarrival_times():
+            interarrival.record(gap)
+
+    def latency_summary(self) -> Tuple[float, float]:
+        """(mean first-word latency, mean interarrival) in cycles."""
+        return (
+            self.histogram("first_word_latency").mean(),
+            self.histogram("interarrival").mean(),
+        )

@@ -1,0 +1,188 @@
+"""The Cedar multistage shuffle-exchange network (Section 2).
+
+Two of these are instantiated per machine: a *forward* network carrying
+requests from the 32 CEs to the 32 global-memory modules and a *reverse*
+network carrying replies back.  The network is self-routing (destination-tag
+scheme of [Lawr75]), buffered, and packet-switched, built from 8x8 crossbars
+with two-word port queues and inter-stage flow control.
+
+Topology: with radix ``r`` and ``S = ceil(log_r ports)`` stages, line labels
+are S-digit base-r numbers.  Stage ``s`` groups lines that agree on every
+digit except position ``S-1-s``; the switch replaces that digit with the
+corresponding digit of the destination tag.  After the last stage every
+digit has been rewritten, so the packet emerges on its destination line --
+the generalized butterfly, contention-equivalent to the omega/shuffle
+network Cedar used.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.config import NetworkConfig
+from repro.errors import ConfigurationError
+from repro.hardware.engine import Engine
+from repro.hardware.packet import Packet
+from repro.hardware.crossbar import CrossbarSwitch
+from repro.hardware.queueing import BoundedWordQueue
+
+DeliveryHandler = Callable[[Packet], None]
+
+
+def _digit(value: int, position: int, radix: int) -> int:
+    return (value // radix**position) % radix
+
+
+def _with_digit(value: int, position: int, radix: int, digit: int) -> int:
+    base = radix**position
+    return value - _digit(value, position, radix) * base + digit * base
+
+
+class OmegaNetwork:
+    """A unidirectional multistage network of 8x8 crossbar switches."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        num_ports: int,
+        config: NetworkConfig,
+        name: str = "net",
+    ) -> None:
+        if num_ports < 2:
+            raise ConfigurationError(f"network needs >= 2 ports, got {num_ports}")
+        self.engine = engine
+        self.config = config
+        self.name = name
+        self.radix = config.switch_radix
+        self.num_stages = 1
+        lines = self.radix
+        while lines < num_ports:
+            lines *= self.radix
+            self.num_stages += 1
+        self.num_lines = lines
+        self.num_ports = num_ports
+        self._sinks: Dict[int, DeliveryHandler] = {}
+        self._delivery_queues: List[BoundedWordQueue] = []
+        self._build()
+
+    # -- construction ----------------------------------------------------
+
+    def _build(self) -> None:
+        radix, stages = self.radix, self.num_stages
+        switches_per_stage = self.num_lines // radix
+        # Input queues of a stage-s switch double as the upstream stage's
+        # output queues, hence 2x the per-port capacity (see crossbar.py).
+        queue_words = 2 * self.config.port_queue_words
+        self.stages: List[List[CrossbarSwitch]] = []
+        for stage in range(stages):
+            digit_position = stages - 1 - stage
+            row = [
+                CrossbarSwitch(
+                    engine=self.engine,
+                    radix=radix,
+                    route=self._router(digit_position),
+                    queue_words=queue_words,
+                    cycles_per_word=self.config.stage_latency_cycles,
+                    name=f"{self.name}.s{stage}.x{sw}",
+                )
+                for sw in range(switches_per_stage)
+            ]
+            self.stages.append(row)
+        # Wire stage s outputs to stage s+1 inputs.
+        for stage in range(stages - 1):
+            for sw_index, switch in enumerate(self.stages[stage]):
+                for output in range(radix):
+                    line = self._line_for(stage, sw_index, output)
+                    nsw, nin = self._switch_for(stage + 1, line)
+                    switch.connect_output(
+                        output, self.stages[stage + 1][nsw].input_queues[nin]
+                    )
+        # Last stage outputs feed per-port delivery queues.  Endpoints either
+        # pull from these (memory modules, preserving back-pressure into the
+        # network) or attach a greedy sink handler (prefetch buffers, which
+        # bound their own occupancy by never over-issuing requests).
+        last = stages - 1
+        for line in range(self.num_lines):
+            sw, port = self._switch_for(last, line)
+            queue = BoundedWordQueue(queue_words, name=f"{self.name}.out[{line}]")
+            self.stages[last][sw].connect_output(port, queue)
+            self._delivery_queues.append(queue)
+
+    def _router(self, digit_position: int) -> Callable[[Packet], int]:
+        radix = self.radix
+
+        def route(packet: Packet) -> int:
+            return _digit(packet.destination, digit_position, radix)
+
+        return route
+
+    def _switch_for(self, stage: int, line: int) -> "tuple[int, int]":
+        """(switch index, port index) of ``line`` at ``stage``.
+
+        At stage ``s`` the varying digit is position ``S-1-s``; the switch
+        index is the line with that digit removed, the port index is the
+        digit itself.
+        """
+        position = self.num_stages - 1 - stage
+        digit = _digit(line, position, self.radix)
+        below = line % self.radix**position
+        above = line // self.radix ** (position + 1)
+        switch = above * self.radix**position + below
+        return switch, digit
+
+    def _line_for(self, stage: int, switch: int, port: int) -> int:
+        """Inverse of :meth:`_switch_for`: output line label."""
+        position = self.num_stages - 1 - stage
+        below = switch % self.radix**position
+        above = switch // self.radix**position
+        return above * self.radix ** (position + 1) + port * self.radix**position + below
+
+    # -- endpoints -------------------------------------------------------
+
+    def delivery_queue(self, port: int) -> BoundedWordQueue:
+        """The exit queue of ``port``, for pull-based endpoints."""
+        if not 0 <= port < self.num_lines:
+            raise ConfigurationError(f"port {port} out of range")
+        return self._delivery_queues[port]
+
+    def attach_sink(self, port: int, handler: DeliveryHandler) -> None:
+        """Drain ``port`` greedily, handing each packet to ``handler``.
+
+        Endpoint delivery is free at this granularity (the port-interface
+        costs sit at the injection side and the memory-module handoff),
+        which yields the paper's 8-cycle minimum first-word latency.
+        """
+        queue = self.delivery_queue(port)
+        if port in self._sinks:
+            raise ConfigurationError(f"port {port} already has a sink")
+        self._sinks[port] = handler
+
+        def drain() -> None:
+            while queue.head() is not None:
+                packet = queue.pop()
+                self.engine.schedule(0, lambda p=packet: handler(p))
+
+        queue.add_item_listener(drain)
+
+    def entry_queue(self, port: int) -> BoundedWordQueue:
+        """The first-stage input queue fed by source ``port``."""
+        sw, index = self._switch_for(0, port)
+        return self.stages[0][sw].input_queues[index]
+
+    def try_inject(self, port: int, packet: Packet) -> bool:
+        """Offer a packet at a source port; False when the entry queue is full."""
+        queue = self.entry_queue(port)
+        if not queue.can_accept(packet):
+            return False
+        queue.push(packet)
+        return True
+
+    def on_entry_space(self, port: int, waiter: Callable[[], None]) -> None:
+        """One-shot callback when the entry queue at ``port`` frees space."""
+        self.entry_queue(port).wait_for_space(waiter)
+
+    def occupancy_words(self) -> int:
+        """Total words buffered inside the network (for tests/ablation)."""
+        total = sum(s.occupancy_words() for row in self.stages for s in row)
+        total += sum(q.used_words for q in self._delivery_queues)
+        return total

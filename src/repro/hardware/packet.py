@@ -1,0 +1,85 @@
+"""Network packets (Section 2, "Global Network").
+
+"Each network packet consists of one to four 64-bit words, the first word
+containing routing and control information and the memory address."
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_packet_ids = itertools.count()
+
+#: Packets carry one to four 64-bit words.
+MAX_PACKET_WORDS = 4
+
+
+class PacketKind(enum.Enum):
+    """What a packet asks the far end to do."""
+
+    READ_REQUEST = "read-request"
+    WRITE_REQUEST = "write-request"
+    READ_REPLY = "read-reply"
+    WRITE_ACK = "write-ack"
+    SYNC_REQUEST = "sync-request"
+    SYNC_REPLY = "sync-reply"
+
+
+@dataclass
+class Packet:
+    """One packet travelling the forward or reverse network.
+
+    Attributes:
+        kind: Request/reply type.
+        source: Originating port (CE index on the forward network, memory
+            module on the reverse network).
+        destination: Target port on the network the packet rides.
+        address: Global memory word address carried in the header word.
+        words: Total packet length in 64-bit words including the header.
+        issue_cycle: When the originator injected the packet (for latency
+            measurement by the performance monitor).
+        request_tag: Ties a reply back to the request (PFU slot, CE load id).
+        payload_words: Data words carried (words - 1 header word).
+    """
+
+    kind: PacketKind
+    source: int
+    destination: int
+    address: int
+    words: int = 1
+    issue_cycle: int = 0
+    request_tag: Optional[int] = None
+    #: Free-form control payload (synchronization operands, outcomes).  In
+    #: hardware this rides in the packet's control word(s).
+    payload: object = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.words <= MAX_PACKET_WORDS:
+            raise ValueError(
+                f"packets carry 1..{MAX_PACKET_WORDS} words, got {self.words}"
+            )
+        if self.source < 0 or self.destination < 0:
+            raise ValueError("ports are non-negative indices")
+
+    @property
+    def payload_words(self) -> int:
+        return self.words - 1
+
+    def reply(
+        self, kind: PacketKind, words: int, issue_cycle: int, payload: object = None
+    ) -> "Packet":
+        """Build the reverse-network packet answering this request."""
+        return Packet(
+            kind=kind,
+            source=self.destination,
+            destination=self.source,
+            address=self.address,
+            words=words,
+            issue_cycle=issue_cycle,
+            request_tag=self.request_tag,
+            payload=payload if payload is not None else self.payload,
+        )

@@ -1,0 +1,144 @@
+"""Bounded word-queues and blocking links, the plumbing of the Cedar networks.
+
+"A two word queue is used on each crossbar input and output port and flow
+control between stages prevents queue overflow" (Section 2).  Queues are
+measured in 64-bit words, so a four-word packet occupies four queue slots,
+and a link forwards one word per cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.errors import SimulationError
+from repro.hardware.engine import Engine
+from repro.hardware.packet import Packet
+
+Notification = Callable[[], None]
+
+
+class BoundedWordQueue:
+    """FIFO of packets with a capacity measured in words.
+
+    Components interested in new arrivals register *item listeners*;
+    components blocked on a full queue register one-shot *space waiters*
+    that fire (in order) whenever words are freed.
+    """
+
+    def __init__(self, capacity_words: int, name: str = "") -> None:
+        if capacity_words < 1:
+            raise ValueError(f"queue capacity must be >= 1 word, got {capacity_words}")
+        self.capacity_words = capacity_words
+        self.name = name
+        self._packets: Deque[Packet] = deque()
+        self._used_words = 0
+        self._item_listeners: List[Notification] = []
+        self._space_waiters: Deque[Notification] = deque()
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    @property
+    def used_words(self) -> int:
+        return self._used_words
+
+    @property
+    def free_words(self) -> int:
+        return self.capacity_words - self._used_words
+
+    def head(self) -> Optional[Packet]:
+        """The packet at the front, or None when empty."""
+        return self._packets[0] if self._packets else None
+
+    def can_accept(self, packet: Packet) -> bool:
+        return packet.words <= self.free_words
+
+    def push(self, packet: Packet) -> None:
+        """Enqueue; the caller must have checked :meth:`can_accept`."""
+        if not self.can_accept(packet):
+            raise SimulationError(
+                f"queue {self.name or id(self)} overflow: "
+                f"{packet.words} words into {self.free_words} free"
+            )
+        self._packets.append(packet)
+        self._used_words += packet.words
+        for listener in list(self._item_listeners):
+            listener()
+
+    def pop(self) -> Packet:
+        """Dequeue the head packet and wake one blocked upstream writer."""
+        if not self._packets:
+            raise SimulationError(f"pop from empty queue {self.name or id(self)}")
+        packet = self._packets.popleft()
+        self._used_words -= packet.words
+        if self._space_waiters:
+            self._space_waiters.popleft()()
+        return packet
+
+    def add_item_listener(self, listener: Notification) -> None:
+        """Call ``listener`` after every push (permanent subscription)."""
+        self._item_listeners.append(listener)
+
+    def wait_for_space(self, waiter: Notification) -> None:
+        """Call ``waiter`` once, the next time words are freed."""
+        self._space_waiters.append(waiter)
+
+
+class Link:
+    """A one-word-per-cycle conduit from one queue into another.
+
+    Models a crossbar output port driving the wire to the next stage: it
+    pulls the head packet of ``source``, is busy for ``packet.words`` cycles
+    (times ``cycle_per_word``), then delivers into ``sink`` -- blocking, and
+    retrying on the sink's space notification, when the sink is full.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        source: BoundedWordQueue,
+        sink: BoundedWordQueue,
+        cycles_per_word: int = 1,
+        name: str = "",
+    ) -> None:
+        self.engine = engine
+        self.source = source
+        self.sink = sink
+        self.cycles_per_word = cycles_per_word
+        self.name = name
+        self._busy = False
+        self._in_flight: Optional[Packet] = None
+        source.add_item_listener(self._wake)
+
+    def _wake(self) -> None:
+        if not self._busy and self.source.head() is not None:
+            self._start(self.source.pop())
+
+    def _start(self, packet: Packet) -> None:
+        self._busy = True
+        self._in_flight = packet
+        self.engine.schedule(packet.words * self.cycles_per_word, self._finish)
+
+    def _finish(self) -> None:
+        packet = self._in_flight
+        assert packet is not None
+        if self.sink.can_accept(packet):
+            self._deliver(packet)
+        else:
+            self.sink.wait_for_space(lambda: self._retry())
+
+    def _retry(self) -> None:
+        packet = self._in_flight
+        assert packet is not None
+        if self.sink.can_accept(packet):
+            self._deliver(packet)
+        else:  # another writer won the freed space; keep waiting
+            self.sink.wait_for_space(lambda: self._retry())
+
+    def _deliver(self, packet: Packet) -> None:
+        self.sink.push(packet)
+        self._in_flight = None
+        self._busy = False
+        if self.source.head() is not None:
+            self._start(self.source.pop())

@@ -1,0 +1,74 @@
+"""Timing model of the Alliant CE vector unit (Section 2).
+
+The CE is a pipelined 68020-compatible processor augmented with vector
+instructions: eight 32-word vector registers, register-memory format with
+one memory operand, 64-bit floating point, peak 11.8 MFLOPS.  The unit
+produces one element result per cycle in steady state after a fixed
+pipeline start-up -- the start-up is why the paper separates the 376 MFLOPS
+absolute peak from the 274 MFLOPS "effective peak due to unavoidable vector
+start-up".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.config import VectorUnitConfig
+
+
+@dataclass(frozen=True)
+class VectorTiming:
+    """Cycle cost of one vector instruction operating on ``length`` elements."""
+
+    startup_cycles: int
+    element_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.startup_cycles + self.element_cycles
+
+
+class VectorUnit:
+    """Pure timing calculator; the memory system supplies operand timing."""
+
+    def __init__(self, config: VectorUnitConfig) -> None:
+        self.config = config
+
+    def strip_lengths(self, length: int) -> List[int]:
+        """Split a vector of ``length`` into register-sized strips (<= 32)."""
+        if length < 0:
+            raise ValueError(f"vector length must be >= 0, got {length}")
+        strips = []
+        remaining = length
+        while remaining > 0:
+            strip = min(remaining, self.config.register_length)
+            strips.append(strip)
+            remaining -= strip
+        return strips
+
+    def instruction_timing(self, length: int) -> VectorTiming:
+        """Start-up plus one cycle per element for a single instruction."""
+        if length < 1:
+            raise ValueError(f"vector instruction needs >= 1 element, got {length}")
+        if length > self.config.register_length:
+            raise ValueError(
+                f"a single vector instruction covers at most "
+                f"{self.config.register_length} elements, got {length}"
+            )
+        return VectorTiming(
+            startup_cycles=self.config.startup_cycles,
+            element_cycles=(length + self.config.elements_per_cycle - 1)
+            // self.config.elements_per_cycle,
+        )
+
+    def stripmined_cycles(self, length: int) -> int:
+        """Total cycles to process ``length`` elements via register strips."""
+        return sum(self.instruction_timing(s).total_cycles for s in self.strip_lengths(length))
+
+    def efficiency_at(self, length: int) -> float:
+        """Fraction of peak achieved on ``length``-element strips."""
+        if length < 1:
+            raise ValueError(f"length must be >= 1, got {length}")
+        cycles = self.stripmined_cycles(length)
+        return length / cycles

@@ -1,0 +1,54 @@
+"""Banded matrix-vector product workload (the PPT4 CM-5 comparison).
+
+[FWPS92] reports matrix-vector products with bandwidths 3 and 11 on the
+CM-5; the paper compares those to Cedar's CG.  This module defines the
+workload arithmetically (operation counts, communication volume) so that
+machine models -- Cedar's simulator or the CM-5 baseline -- can time it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BandedMatvec:
+    """y = A x for a banded A of order ``n`` and total bandwidth ``bandwidth``."""
+
+    n: int
+    bandwidth: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"matrix order must be >= 1, got {self.n}")
+        if self.bandwidth < 1 or self.bandwidth % 2 == 0:
+            raise ValueError(
+                f"bandwidth must be odd and >= 1, got {self.bandwidth}"
+            )
+        if self.bandwidth > self.n:
+            raise ValueError("bandwidth cannot exceed the matrix order")
+
+    @property
+    def half_bandwidth(self) -> int:
+        return self.bandwidth // 2
+
+    @property
+    def flops(self) -> float:
+        """One multiply and one add per non-zero (~2 * bw * n)."""
+        interior = 2.0 * self.bandwidth * self.n
+        # Edge rows have fewer non-zeros; subtract the missing triangle.
+        missing = self.half_bandwidth * (self.half_bandwidth + 1)
+        return interior - 2.0 * missing
+
+    @property
+    def words_touched(self) -> float:
+        """Memory words streamed: the band, x, and y."""
+        return self.flops / 2.0 + 2.0 * self.n
+
+    def halo_words(self, num_processors: int) -> float:
+        """Boundary exchange per processor under a block-row partition."""
+        if num_processors < 1:
+            raise ValueError("need >= 1 processor")
+        if num_processors == 1:
+            return 0.0
+        return 2.0 * self.half_bandwidth

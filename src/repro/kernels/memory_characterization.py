@@ -1,0 +1,110 @@
+"""Memory-system characterization benchmarks ([GJTV91]).
+
+The paper cites "the observed maximum bandwidth of memory system
+characterization benchmarks" when discussing the rank-64 results.  This is
+that suite: stride sweeps that expose the interleave structure of global
+memory (stride 1 spreads over all 32 modules; any multiple of 32 hammers a
+single module), and an aggregate-bandwidth probe versus CE count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.config import CE_CYCLE_SECONDS, CedarConfig, DEFAULT_CONFIG, WORD_BYTES
+from repro.hardware.ce import ArmFirePrefetch, ComputationalElement, ConsumePrefetch
+from repro.kernels.common import KernelRun, MeasuredKernel, ce_base_address, run_measured
+
+
+@dataclass(frozen=True)
+class StridePoint:
+    """Effective stream behaviour at one access stride."""
+
+    stride: int
+    modules_touched: int
+    interarrival: float
+    words_per_cycle_per_ce: float
+
+    @property
+    def megabytes_per_second_per_ce(self) -> float:
+        return (
+            self.words_per_cycle_per_ce * WORD_BYTES / CE_CYCLE_SECONDS / 1e6
+        )
+
+
+def modules_touched(stride: int, num_modules: int) -> int:
+    """Distinct modules a stride-``stride`` stream visits (gcd structure)."""
+    import math
+
+    if stride == 0:
+        raise ValueError("stride must be non-zero")
+    return num_modules // math.gcd(abs(stride), num_modules)
+
+
+def _stride_kernel(config: CedarConfig, stride: int, blocks: int):
+    block = config.prefetch.compiler_block_words
+
+    def factory(ce: ComputationalElement):
+        base = ce_base_address(ce)
+        for i in range(blocks):
+            handle = yield ArmFirePrefetch(
+                length=block, stride=stride,
+                start_address=base + i * block * abs(stride),
+            )
+            yield ConsumePrefetch(handle, flops_per_element=0.0)
+
+    return factory
+
+
+def measure_stride(
+    stride: int,
+    num_ces: int = 8,
+    config: CedarConfig = DEFAULT_CONFIG,
+    blocks: int = 8,
+) -> StridePoint:
+    """One point of the stride sweep."""
+    kernel = MeasuredKernel(
+        name=f"stride-{stride}",
+        factory=lambda cfg, _n: _stride_kernel(cfg, stride, blocks),
+    )
+    run = run_measured(kernel, num_ces, config, warmup_fraction=0.2)
+    interarrival = run.interarrival or 0.0
+    return StridePoint(
+        stride=stride,
+        modules_touched=modules_touched(
+            stride, config.global_memory.num_modules
+        ),
+        interarrival=interarrival,
+        words_per_cycle_per_ce=(1.0 / interarrival) if interarrival else 0.0,
+    )
+
+
+def stride_sweep(
+    strides: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    num_ces: int = 8,
+    config: CedarConfig = DEFAULT_CONFIG,
+) -> List[StridePoint]:
+    """The classic interleave-structure sweep.
+
+    Expectation on Cedar's double-word interleave over 32 modules: full
+    bandwidth at stride 1 (all modules), graceful loss through stride 8,
+    and collapse at stride 32 (every reference to one module, which then
+    serializes at its word-cycle time).
+    """
+    return [measure_stride(s, num_ces, config) for s in strides]
+
+
+def aggregate_bandwidth_megabytes(
+    num_ces: int, config: CedarConfig = DEFAULT_CONFIG, blocks: int = 10
+) -> float:
+    """Delivered stride-1 aggregate bandwidth at a given CE count."""
+    kernel = MeasuredKernel(
+        name="bandwidth-probe",
+        factory=lambda cfg, _n: _stride_kernel(cfg, 1, blocks),
+    )
+    run = run_measured(kernel, num_ces, config, warmup_fraction=0.2)
+    if not run.interarrival:
+        raise RuntimeError("bandwidth probe captured no statistics")
+    per_ce_rate = 1.0 / run.interarrival
+    return num_ces * per_ce_rate * WORD_BYTES / CE_CYCLE_SECONDS / 1e6

@@ -1,0 +1,190 @@
+"""RK: the rank-64 update of Table 1, in its three memory-system versions.
+
+The kernel computes a rank-64 update to an n x n matrix resident in global
+memory: ``C += A * B`` with A being n x 64.  "The difference between the
+versions lies in the mode of access of the data and the transfer of
+subblocks to cluster cache":
+
+* ``GM_NO_PREFETCH`` -- all vector accesses go to global memory with no
+  prefetching: the CE is limited to two outstanding requests and the
+  13-cycle latency (the paper's latency-bound floor, 14.5 MFLOPS/cluster).
+* ``GM_PREFETCH`` -- identical access pattern but streamed through the PFU
+  in 256-word blocks, aggressively overlapped with computation.
+* ``GM_CACHE`` -- transfers submatrix panels into a cached work array in
+  each cluster and runs all vector accesses against the cache.
+
+All versions chain two operations (multiply + add) per memory request.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.config import CedarConfig, DEFAULT_CONFIG
+from repro.hardware.ce import (
+    ArmFirePrefetch,
+    Compute,
+    ComputationalElement,
+    ConsumePrefetch,
+    GlobalLoads,
+    GlobalStores,
+    VectorCacheOp,
+)
+from repro.hardware.cluster_memory import move_global_to_cluster
+from repro.kernels.common import KernelRun, MeasuredKernel, ce_base_address, run_measured
+
+#: Rank of the update (the paper's rank-64).
+RANK = 64
+
+#: Aggressive prefetch block used by the hand-tuned RK (Section 4.1: "The RK
+#: kernel prefetches blocks of 256 words").
+RK_PREFETCH_BLOCK = 256
+
+
+class RankUpdateVersion(enum.Enum):
+    """The three Table 1 variants."""
+
+    GM_NO_PREFETCH = "GM/no-pref"
+    GM_PREFETCH = "GM/pref"
+    GM_CACHE = "GM/cache"
+
+
+def _no_prefetch_factory(config: CedarConfig, strips: int):
+    """One column-strip iteration: 64 chained muladds straight from GM."""
+    strip = config.vector.register_length
+
+    def factory(ce: ComputationalElement):
+        a_base = ce_base_address(ce, region=0)
+        c_base = ce_base_address(ce, region=1)
+        for s in range(strips):
+            # C strip lives in a vector register across the 64 updates.
+            yield GlobalLoads(
+                start_address=c_base + s * strip, length=strip, flops_per_element=0.0
+            )
+            for k in range(RANK):
+                yield GlobalLoads(
+                    start_address=a_base + (s * RANK + k) * strip,
+                    length=strip,
+                    flops_per_element=2.0,
+                )
+            yield GlobalStores(start_address=c_base + s * strip, length=strip)
+
+    return factory
+
+
+def _prefetch_factory(config: CedarConfig, strips: int):
+    """Same traffic, streamed through 256-word prefetches."""
+    strip = config.vector.register_length
+    block = RK_PREFETCH_BLOCK
+    loads_per_strip = (RANK + 1) * strip  # C strip + 64 A strips
+
+    def factory(ce: ComputationalElement):
+        a_base = ce_base_address(ce, region=0)
+        for s in range(strips):
+            fetched = 0
+            while fetched < loads_per_strip:
+                chunk = min(block, loads_per_strip - fetched)
+                handle = yield ArmFirePrefetch(
+                    length=chunk,
+                    stride=1,
+                    start_address=a_base + s * loads_per_strip + fetched,
+                )
+                # Two chained flops per word, consumed as the words land.
+                yield ConsumePrefetch(handle, flops_per_element=2.0)
+                fetched += chunk
+            yield GlobalStores(
+                start_address=ce_base_address(ce, region=1) + s * strip,
+                length=strip,
+            )
+
+    return factory
+
+
+def _cache_factory(config: CedarConfig, strips: int):
+    """Panels moved to the cluster work array; vector ops hit the cache.
+
+    The A panel is moved to the work array once and reused across every C
+    strip (the blocked algorithm's whole point), so the global traffic per
+    strip is just C in and out.  Each rank-1 update is a register-memory
+    multiply-add chained to the operand load; issuing the chained load
+    costs one pipeline start-up on top of the muladd itself.
+    """
+    strip = config.vector.register_length
+    issue_overhead = config.vector.startup_cycles
+
+    def factory(ce: ComputationalElement):
+        a_base = ce_base_address(ce, region=0)
+        c_base = ce_base_address(ce, region=1)
+        # This CE's share of the A panel, moved in once.
+        panel_words = RANK * strip
+        yield from move_global_to_cluster(ce, a_base, panel_words)
+        for s in range(strips):
+            yield from move_global_to_cluster(ce, c_base + s * strip, strip)
+            # 64 register-memory muladds against the cached panel.
+            for k in range(RANK):
+                yield VectorCacheOp(length=strip, flops_per_element=2.0)
+                yield Compute(issue_overhead)
+            # C strip back to global memory.
+            yield GlobalStores(start_address=c_base + s * strip, length=strip)
+
+    return factory
+
+
+_FACTORIES = {
+    RankUpdateVersion.GM_NO_PREFETCH: _no_prefetch_factory,
+    RankUpdateVersion.GM_PREFETCH: _prefetch_factory,
+    RankUpdateVersion.GM_CACHE: _cache_factory,
+}
+
+#: Strips per CE in a measurement window, per version.  The no-prefetch
+#: version is ~13x slower per word, so it needs fewer strips to reach
+#: steady state within a reasonable event budget.
+_DEFAULT_STRIPS = {
+    RankUpdateVersion.GM_NO_PREFETCH: 1,
+    RankUpdateVersion.GM_PREFETCH: 3,
+    RankUpdateVersion.GM_CACHE: 6,
+}
+
+
+def rank_update_kernel(
+    config: CedarConfig,
+    version: RankUpdateVersion,
+    strips: int | None = None,
+):
+    """Kernel factory for one RK version."""
+    chosen = strips if strips is not None else _DEFAULT_STRIPS[version]
+    return _FACTORIES[version](config, chosen)
+
+
+def measure_rank_update(
+    version: RankUpdateVersion,
+    num_clusters: int,
+    config: CedarConfig = DEFAULT_CONFIG,
+    strips: int | None = None,
+) -> KernelRun:
+    """Table 1 cell: MFLOPS of one version on 1..4 clusters.
+
+    The GM/cache version is measured over two windows and differenced so
+    that the one-time A-panel move is amortized away, matching the paper's
+    n = 1K matrix where the panel transfer is negligible against the
+    O(n^2 * 64) arithmetic.
+    """
+    def run(n_strips: int | None) -> KernelRun:
+        kernel = MeasuredKernel(
+            name=f"RK {version.value}",
+            factory=lambda cfg, _n: rank_update_kernel(cfg, version, n_strips),
+            record_prefetch=version is RankUpdateVersion.GM_PREFETCH,
+        )
+        return run_measured(kernel, num_clusters * config.ces_per_cluster, config)
+
+    if version is not RankUpdateVersion.GM_CACHE:
+        return run(strips)
+    full_strips = strips if strips is not None else _DEFAULT_STRIPS[version]
+    half = run(max(1, full_strips // 2))
+    full = run(full_strips)
+    return KernelRun(
+        name=full.name,
+        num_ces=full.num_ces,
+        cycles=full.cycles - half.cycles,
+        flops=full.flops - half.flops,
+    )

@@ -1,0 +1,42 @@
+"""The CEDAR FORTRAN programming model (Section 3).
+
+Programs for the analytic machine model are built from the same constructs
+the language exposes: DOALL loops in their three flavors (CDOALL within a
+cluster, SDOALL across clusters, XDOALL across all processors), explicit
+data placement (GLOBAL vs cluster memory vs loop-local), serial sections,
+barriers, reductions and I/O.  The run-time library semantics -- loop
+start-up latencies, self-scheduling with or without the Cedar
+synchronization instructions -- live in :mod:`repro.lang.runtime`.
+"""
+
+from repro.lang.loops import (
+    Barrier,
+    DataMove,
+    Doall,
+    IOSection,
+    LoopKind,
+    Reduction,
+    SerialSection,
+    VirtualMemoryActivity,
+    Work,
+)
+from repro.lang.placement import Placement
+from repro.lang.program import Program, walk
+from repro.lang.runtime import RuntimeOptions, Schedule
+
+__all__ = [
+    "Program",
+    "walk",
+    "Work",
+    "Doall",
+    "LoopKind",
+    "SerialSection",
+    "Barrier",
+    "Reduction",
+    "IOSection",
+    "DataMove",
+    "VirtualMemoryActivity",
+    "Placement",
+    "RuntimeOptions",
+    "Schedule",
+]

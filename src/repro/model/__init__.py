@@ -1,0 +1,19 @@
+"""The analytic Cedar machine model.
+
+Whole applications (the Perfect codes) are far too large to run through the
+cycle-level simulator, so this package executes :mod:`repro.lang` programs
+against calibrated cost equations: loop start-up and iteration-fetch costs
+(Section 3.2), prefetch effectiveness versus processor count (calibrated
+from the cycle simulator, Section 4.1), bandwidth ceilings per memory level,
+vector start-up amortization, barrier, reduction, I/O and paging costs.
+"""
+
+from repro.model.costs import CostModel, MemoryLevelRates
+from repro.model.machine_model import CedarMachineModel, ExecutionReport
+
+__all__ = [
+    "CostModel",
+    "MemoryLevelRates",
+    "CedarMachineModel",
+    "ExecutionReport",
+]

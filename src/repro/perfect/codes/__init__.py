@@ -1,0 +1,48 @@
+"""One module per Perfect Benchmarks code, each exporting ``PROFILE``."""
+
+from repro.perfect.codes.adm import PROFILE as ADM
+from repro.perfect.codes.arc3d import PROFILE as ARC3D
+from repro.perfect.codes.bdna import PROFILE as BDNA
+from repro.perfect.codes.dyfesm import PROFILE as DYFESM
+from repro.perfect.codes.flo52 import PROFILE as FLO52
+from repro.perfect.codes.mdg import PROFILE as MDG
+from repro.perfect.codes.mg3d import PROFILE as MG3D
+from repro.perfect.codes.ocean import PROFILE as OCEAN
+from repro.perfect.codes.qcd import PROFILE as QCD
+from repro.perfect.codes.spec77 import PROFILE as SPEC77
+from repro.perfect.codes.spice import PROFILE as SPICE
+from repro.perfect.codes.track import PROFILE as TRACK
+from repro.perfect.codes.trfd import PROFILE as TRFD
+
+ALL_PROFILES = (
+    ADM,
+    ARC3D,
+    BDNA,
+    DYFESM,
+    FLO52,
+    MDG,
+    MG3D,
+    OCEAN,
+    QCD,
+    SPEC77,
+    SPICE,
+    TRACK,
+    TRFD,
+)
+
+__all__ = [
+    "ADM",
+    "ARC3D",
+    "BDNA",
+    "DYFESM",
+    "FLO52",
+    "MDG",
+    "MG3D",
+    "OCEAN",
+    "QCD",
+    "SPEC77",
+    "SPICE",
+    "TRACK",
+    "TRFD",
+    "ALL_PROFILES",
+]

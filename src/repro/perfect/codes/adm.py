@@ -1,0 +1,33 @@
+"""ADM: pseudospectral air-pollution model (2D fluid + transport).
+
+A mid-tier Perfect code on Cedar: the 1988 KAP retarget finds almost
+nothing, while the automatable transformations (array privatization in the
+transport sweeps, parallel reductions in the spectral sums) expose about 80%
+of the work.  Moderate vector lengths; about half the loop data stays in
+shared arrays after privatization.
+"""
+
+from repro.perfect.profiles import CodeProfile, HandOptimization
+
+PROFILE = CodeProfile(
+    name="ADM",
+    description="Pseudospectral air pollution (ADM/Shear) model",
+    total_flops=1.117e9,
+    flops_per_word=1.5,
+    kap_coverage=0.05,
+    auto_coverage=0.80,
+    trip_count=32,
+    parallel_loop_instances=30_000,
+    loop_vector_fraction=0.85,
+    serial_vector_fraction=0.15,
+    vector_length=32,
+    global_data_fraction=0.50,
+    prefetchable_fraction=0.80,
+    scalar_memory_fraction=0.10,
+    monitor_flop_fraction=0.63,
+    hand=HandOptimization(
+        extra_coverage=0.06,
+        prefetchable_fraction=0.88,
+        notes="modest cleanup of the remaining spectral serial sections",
+    ),
+)

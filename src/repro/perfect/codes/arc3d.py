@@ -1,0 +1,34 @@
+"""ARC3D: implicit 3D Euler/Navier-Stokes solver (ARC2D/ARC3D family).
+
+One of the two codes KAP already handles well (regular dense loop nests
+vectorize and parallelize readily).  Section 4.2: "Careful consideration of
+ARC3D reveals a substantial number of unnecessary computations.  Primarily
+due to their elimination but also due to aggressive data distribution into
+cluster memory the execution time is reduced to 68 secs." [BrBo91]
+"""
+
+from repro.perfect.profiles import CodeProfile, HandOptimization
+
+PROFILE = CodeProfile(
+    name="ARC3D",
+    description="Implicit finite-difference 3D Euler solver",
+    total_flops=1.682e9,
+    flops_per_word=2.0,
+    kap_coverage=0.78,
+    auto_coverage=0.91,
+    trip_count=96,
+    parallel_loop_instances=40_000,
+    loop_vector_fraction=0.95,
+    serial_vector_fraction=0.30,
+    vector_length=48,
+    global_data_fraction=0.60,
+    prefetchable_fraction=0.85,
+    scalar_memory_fraction=0.05,
+    monitor_flop_fraction=0.72,
+    hand=HandOptimization(
+        flops_factor=0.55,
+        distribute_global_fraction=0.70,
+        notes="eliminate unnecessary computations; distribute data into "
+        "cluster memories [BrBo91]",
+    ),
+)

@@ -1,0 +1,32 @@
+"""BDNA: molecular dynamics of hydrated B-DNA.
+
+The Perfect run is dominated by formatted trajectory output: Section 4.2
+reduces BDNA to 70 seconds "by simply replacing formatted with unformatted
+I/O".  The compute part (pair interactions with cut-offs) privatizes well.
+"""
+
+from repro.perfect.profiles import CodeProfile, HandOptimization
+
+PROFILE = CodeProfile(
+    name="BDNA",
+    description="Molecular dynamics of B-DNA in water",
+    total_flops=8.44e8,
+    flops_per_word=1.8,
+    kap_coverage=0.28,
+    auto_coverage=0.905,
+    trip_count=32,
+    parallel_loop_instances=25_000,
+    loop_vector_fraction=0.85,
+    serial_vector_fraction=0.20,
+    vector_length=32,
+    global_data_fraction=0.45,
+    prefetchable_fraction=0.80,
+    scalar_memory_fraction=0.10,
+    io_bytes=11.5e6,
+    io_formatted=True,
+    monitor_flop_fraction=0.7,
+    hand=HandOptimization(
+        unformatted_io=True,
+        notes="replace formatted with unformatted I/O",
+    ),
+)

@@ -1,0 +1,40 @@
+"""DYFESM: dynamic finite-element structural mechanics.
+
+"The major problem with DYFESM is the very small problem size used in the
+benchmark" (Section 4.2): parallel loops are fine-grained and few-way, so
+loop self-scheduling cost matters ("parallel loops with relatively small
+granularity requiring low-overhead self-scheduling support") and it
+"benefits significantly from prefetch due to the large number of vector
+fetches from global memory on a small number of processors (due to the
+limited parallelism available)".  The [YaGa93] rewrite reshapes data
+structures, reimplements key kernels against the prefetch unit, and uses
+the hierarchical SDOALL/CDOALL control structure for a 31s run.
+"""
+
+from repro.perfect.profiles import CodeProfile, HandOptimization
+
+PROFILE = CodeProfile(
+    name="DYFESM",
+    description="Dynamic finite-element structural mechanics",
+    total_flops=3.529e8,
+    flops_per_word=1.5,
+    kap_coverage=0.70,
+    auto_coverage=0.977,
+    trip_count=8,  # the "limited parallelism available"
+    parallel_loop_instances=195_000,
+    loop_vector_fraction=0.90,
+    serial_vector_fraction=0.20,
+    vector_length=24,
+    global_data_fraction=0.90,
+    prefetchable_fraction=0.85,
+    scalar_memory_fraction=0.05,
+    kap_single_cluster=True,
+    monitor_flop_fraction=0.68,
+    hand=HandOptimization(
+        use_cluster_hierarchy=True,
+        vector_length=28,
+        prefetchable_fraction=0.87,
+        notes="reshape data structures, hand-code kernels against the PFU "
+        "in Xylem assembler, exploit SDOALL/CDOALL [YaGa93]",
+    ),
+)

@@ -1,0 +1,38 @@
+"""FLO52: transonic flow over an airfoil (multigrid Euler).
+
+The best performer on Cedar, but at the Perfect problem size "four of the
+five major routines in FL052 require a series of multicluster barriers
+[whose] synchronization overhead degrades performance" (Section 4.2).  The
+hand version introduces "a small amount of redundancy [to] transform the
+sequence of multicluster barriers into a single multicluster barrier and
+four independent sequences of barriers that can exploit the concurrency
+control hardware in each cluster", plus eliminates recurrences, for 33s
+[GJWY93].
+"""
+
+from repro.perfect.profiles import CodeProfile, HandOptimization
+
+PROFILE = CodeProfile(
+    name="FLO52",
+    description="Transonic airfoil flow, multigrid Euler solver",
+    total_flops=8.585e8,
+    flops_per_word=2.0,
+    kap_coverage=0.83,
+    auto_coverage=0.965,
+    trip_count=64,
+    parallel_loop_instances=20_000,
+    loop_vector_fraction=0.95,
+    serial_vector_fraction=0.30,
+    vector_length=48,
+    global_data_fraction=0.40,
+    prefetchable_fraction=0.85,
+    scalar_memory_fraction=0.05,
+    multicluster_barriers=39_000,
+    monitor_flop_fraction=0.98,
+    hand=HandOptimization(
+        multicluster_barrier_factor=0.35,
+        flops_factor=1.0,
+        notes="single multicluster barrier + per-cluster barrier chains; "
+        "eliminate recurrences in the remaining major routine [GJWY93]",
+    ),
+)

@@ -1,0 +1,32 @@
+"""MDG: molecular dynamics of liquid water (flexible TIP4P-style model).
+
+Long pair-interaction loops with accumulations into shared force arrays:
+KAP's 1988 dependence tests give up on them, while array privatization plus
+parallel (sum) reductions -- both automatable transformations -- recover
+most of the run.
+"""
+
+from repro.perfect.profiles import CodeProfile, HandOptimization
+
+PROFILE = CodeProfile(
+    name="MDG",
+    description="Molecular dynamics of liquid water",
+    total_flops=3.646e9,
+    flops_per_word=1.2,
+    kap_coverage=0.03,
+    auto_coverage=0.82,
+    trip_count=32,
+    parallel_loop_instances=50_000,
+    loop_vector_fraction=0.80,
+    serial_vector_fraction=0.10,
+    vector_length=32,
+    global_data_fraction=0.50,
+    prefetchable_fraction=0.80,
+    scalar_memory_fraction=0.10,
+    monitor_flop_fraction=0.7,
+    hand=HandOptimization(
+        extra_coverage=0.05,
+        prefetchable_fraction=0.85,
+        notes="interaction-list restructuring of the pair loops",
+    ),
+)

@@ -1,0 +1,33 @@
+"""MG3D: 3D seismic migration.
+
+Table 3's footnote: "This version of MG3D includes the elimination of file
+I/O" -- the original writes enormous scratch files; the measured version
+keeps the wavefield resident, so the profile carries no I/O section.  The
+depth-extrapolation loops parallelize well once induction variables in the
+trace bookkeeping are substituted (an automatable transformation).
+"""
+
+from repro.perfect.profiles import CodeProfile, HandOptimization
+
+PROFILE = CodeProfile(
+    name="MG3D",
+    description="3D seismic migration (file I/O eliminated)",
+    total_flops=7.115e9,
+    flops_per_word=1.0,
+    kap_coverage=0.02,
+    auto_coverage=0.90,
+    trip_count=48,
+    parallel_loop_instances=60_000,
+    loop_vector_fraction=0.90,
+    serial_vector_fraction=0.10,
+    vector_length=40,
+    global_data_fraction=0.50,
+    prefetchable_fraction=0.85,
+    scalar_memory_fraction=0.05,
+    monitor_flop_fraction=0.58,
+    hand=HandOptimization(
+        extra_coverage=0.04,
+        distribute_global_fraction=0.30,
+        notes="distribute wavefield panels to cluster memories",
+    ),
+)

@@ -1,0 +1,32 @@
+"""OCEAN: 2D ocean circulation (spectral / FFT based).
+
+Many small parallel loops over 2D grids: like DYFESM it has "parallel loops
+with relatively small granularity requiring low-overhead self-scheduling
+support" -- the code that shows the clearest slowdown when the run-time
+library cannot use the Cedar synchronization instructions.
+"""
+
+from repro.perfect.profiles import CodeProfile, HandOptimization
+
+PROFILE = CodeProfile(
+    name="OCEAN",
+    description="2D ocean basin circulation model",
+    total_flops=2.528e9,
+    flops_per_word=1.2,
+    kap_coverage=0.08,
+    auto_coverage=0.90,
+    trip_count=32,
+    parallel_loop_instances=1_250_000,
+    loop_vector_fraction=0.85,
+    serial_vector_fraction=0.15,
+    vector_length=32,
+    global_data_fraction=0.50,
+    prefetchable_fraction=0.80,
+    scalar_memory_fraction=0.08,
+    monitor_flop_fraction=0.6,
+    hand=HandOptimization(
+        extra_coverage=0.05,
+        use_cluster_hierarchy=True,
+        notes="fuse the small FFT loops and schedule them per cluster",
+    ),
+)

@@ -1,0 +1,33 @@
+"""QCD: lattice gauge theory (quantum chromodynamics, Monte Carlo).
+
+The measured run is throttled by its serial pseudo-random number generator:
+the automatable version only reaches 1.8x.  Section 4.2: "If a hand-coded
+parallel random number generator is used, QCD can be improved to yield a
+speed improvement of 20.8 rather than the 1.8 reported for the automatable
+code" -- an 11.4x improvement over the automatable/no-sync baseline, 21s.
+Short SU(3) vectors keep the vector unit half idle either way.
+"""
+
+from repro.perfect.profiles import CodeProfile, HandOptimization
+
+PROFILE = CodeProfile(
+    name="QCD",
+    description="Lattice gauge theory Monte Carlo",
+    total_flops=5.057e8,
+    flops_per_word=1.0,
+    kap_coverage=0.02,
+    auto_coverage=0.45,
+    trip_count=32,
+    parallel_loop_instances=20_000,
+    loop_vector_fraction=0.50,
+    serial_vector_fraction=0.05,
+    vector_length=12,
+    global_data_fraction=0.40,
+    prefetchable_fraction=0.70,
+    scalar_memory_fraction=0.30,
+    monitor_flop_fraction=0.87,
+    hand=HandOptimization(
+        extra_coverage=0.535,
+        notes="hand-coded parallel random number generator",
+    ),
+)

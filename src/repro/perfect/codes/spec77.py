@@ -1,0 +1,31 @@
+"""SPEC77: global spectral weather model.
+
+Spectral transforms plus grid-space physics: the transforms vectorize and
+parallelize well after privatization of the per-latitude work arrays; the
+physics columns carry more scalar control flow.
+"""
+
+from repro.perfect.profiles import CodeProfile, HandOptimization
+
+PROFILE = CodeProfile(
+    name="SPEC77",
+    description="Global spectral atmospheric circulation model",
+    total_flops=4.092e9,
+    flops_per_word=1.5,
+    kap_coverage=0.10,
+    auto_coverage=0.86,
+    trip_count=48,
+    parallel_loop_instances=80_000,
+    loop_vector_fraction=0.85,
+    serial_vector_fraction=0.20,
+    vector_length=32,
+    global_data_fraction=0.50,
+    prefetchable_fraction=0.80,
+    scalar_memory_fraction=0.10,
+    monitor_flop_fraction=0.79,
+    hand=HandOptimization(
+        extra_coverage=0.04,
+        prefetchable_fraction=0.85,
+        notes="fuse transform passes; distribute latitude bands",
+    ),
+)

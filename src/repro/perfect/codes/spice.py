@@ -1,0 +1,36 @@
+"""SPICE: analog circuit simulation (sparse LU + device evaluation).
+
+The archetypal "very poor performer" the paper's stability discussion cites:
+pointer-chasing sparse solves and scalar device models leave almost nothing
+for the restructurer, and its tiny floating-point density gives it the
+ensemble's minimum MFLOPS.  Section 4.2: "SPICE also benefits significantly
+from algorithmic attention.  After considering all of the major phases of
+the application and developing new approaches where needed the time is
+reduced to approximately 26 secs."
+"""
+
+from repro.perfect.profiles import CodeProfile, HandOptimization
+
+PROFILE = CodeProfile(
+    name="SPICE",
+    description="Analog circuit simulator (sparse LU, device evaluation)",
+    total_flops=1.058e8,
+    flops_per_word=0.8,
+    kap_coverage=0.01,
+    auto_coverage=0.35,
+    trip_count=16,
+    parallel_loop_instances=40_000,
+    loop_vector_fraction=0.10,
+    serial_vector_fraction=0.02,
+    vector_length=8,
+    global_data_fraction=0.60,
+    prefetchable_fraction=0.30,
+    scalar_memory_fraction=0.60,
+    monitor_flop_fraction=0.21,
+    hand=HandOptimization(
+        serial_factor=0.36,
+        extra_coverage=0.12,
+        notes="new approaches in all major phases (reordered sparse solve, "
+        "vectorized device evaluation)",
+    ),
+)

@@ -1,0 +1,32 @@
+"""TRACK: missile-tracking (Kalman filtering over observation sets).
+
+Small irregular data structures and conditional control flow: the code the
+paper names for "a domination of scalar accesses", which also makes its
+global traffic nearly prefetch-proof.  Restructuring finds some task-level
+parallelism across tracks but little vector work.
+"""
+
+from repro.perfect.profiles import CodeProfile, HandOptimization
+
+PROFILE = CodeProfile(
+    name="TRACK",
+    description="Multi-target tracking with Kalman filters",
+    total_flops=1.764e8,
+    flops_per_word=0.8,
+    kap_coverage=0.02,
+    auto_coverage=0.68,
+    trip_count=16,
+    parallel_loop_instances=30_000,
+    loop_vector_fraction=0.20,
+    serial_vector_fraction=0.05,
+    vector_length=8,
+    global_data_fraction=0.60,
+    prefetchable_fraction=0.30,
+    scalar_memory_fraction=0.50,
+    monitor_flop_fraction=0.675,
+    hand=HandOptimization(
+        extra_coverage=0.18,
+        flops_factor=0.90,
+        notes="restructure per-track state for privatized task parallelism",
+    ),
+)

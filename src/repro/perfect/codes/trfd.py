@@ -1,0 +1,41 @@
+"""TRFD: two-electron integral transformation (quantum chemistry).
+
+A sequence of matrix multiplications -- nearly ideal material, and the code
+whose hand version exposed Cedar's virtual-memory pathology: the improved
+multicluster version "was shown to have almost four times the number of
+page faults relative to the one-cluster version and was spending close to
+50% of the time in virtual memory activity.  The extra faults are TLB miss
+faults as each additional cluster ... first accesses pages for which a
+valid PTE exists in global memory" [AnGa93, MaEG92].  High-performance
+cache/vector-register kernels cut it to 11.5s, and "a distributed memory
+version of the code was developed to mitigate this problem and yielded a
+final execution time of 7.5 secs."
+"""
+
+from repro.perfect.profiles import CodeProfile, HandOptimization
+
+PROFILE = CodeProfile(
+    name="TRFD",
+    description="Two-electron integral transformation (matrix multiplies)",
+    total_flops=2.587e8,
+    flops_per_word=2.5,
+    kap_coverage=0.50,
+    auto_coverage=0.96,
+    trip_count=64,
+    parallel_loop_instances=5_000,
+    loop_vector_fraction=0.95,
+    serial_vector_fraction=0.30,
+    vector_length=48,
+    global_data_fraction=0.70,
+    prefetchable_fraction=0.90,
+    scalar_memory_fraction=0.03,
+    paging_seconds=10.0,
+    monitor_flop_fraction=0.69,
+    hand=HandOptimization(
+        fix_paging=True,
+        extra_coverage=0.01,
+        distribute_global_fraction=0.30,
+        notes="blocked cache/vector-register kernels [AnGa93]; distributed-"
+        "memory version eliminates the multicluster TLB-fault storm",
+    ),
+)

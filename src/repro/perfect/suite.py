@@ -1,0 +1,107 @@
+"""Running the Perfect suite on the analytic Cedar model (Tables 3 and 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.model.machine_model import CedarMachineModel
+from repro.perfect.codes import ALL_PROFILES
+from repro.perfect.profiles import CodeProfile
+from repro.perfect.versions import Version, build_program, options_for
+
+PERFECT_CODES: Dict[str, CodeProfile] = {p.name: p for p in ALL_PROFILES}
+
+
+def code_names() -> List[str]:
+    """The 13 Perfect code names, alphabetically."""
+    return sorted(PERFECT_CODES)
+
+
+def get_profile(name: str) -> CodeProfile:
+    try:
+        return PERFECT_CODES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown Perfect code {name!r}; known: {', '.join(code_names())}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class PerfectResult:
+    """One code at one version on the Cedar model."""
+
+    code: str
+    version: Version
+    seconds: float
+    serial_seconds: float
+    mflops: float
+    processors: int
+
+    @property
+    def improvement(self) -> float:
+        """Speed improvement over the uniprocessor scalar version."""
+        return self.serial_seconds / self.seconds
+
+    @property
+    def efficiency(self) -> float:
+        return self.improvement / self.processors
+
+
+def run_code(
+    name: str,
+    version: Version,
+    model: Optional[CedarMachineModel] = None,
+) -> PerfectResult:
+    """Time one Perfect code at one restructuring level."""
+    profile = get_profile(name)
+    model = model or CedarMachineModel()
+    serial = model.execute_serial(build_program(profile, Version.SERIAL))
+    if version is Version.SERIAL:
+        return PerfectResult(
+            code=name,
+            version=version,
+            seconds=serial.seconds,
+            serial_seconds=serial.seconds,
+            mflops=_monitor_mflops(profile, serial.seconds),
+            processors=1,
+        )
+    program = build_program(profile, version)
+    options = options_for(version, profile)
+    report = model.execute(program, options)
+    monitor_flops_profile = (
+        profile.with_hand_optimization() if version is Version.HAND else profile
+    )
+    return PerfectResult(
+        code=name,
+        version=version,
+        seconds=report.seconds,
+        serial_seconds=serial.seconds,
+        mflops=_monitor_mflops(monitor_flops_profile, report.seconds),
+        processors=report.processors,
+    )
+
+
+def _monitor_mflops(profile: CodeProfile, seconds: float) -> float:
+    """MFLOPS using the hardware-monitor flop count, as the paper does."""
+    return profile.monitor_flops / seconds / 1e6
+
+
+def run_suite(
+    versions: Sequence[Version] = tuple(Version),
+    codes: Optional[Iterable[str]] = None,
+    model: Optional[CedarMachineModel] = None,
+) -> Dict[str, Dict[Version, PerfectResult]]:
+    """The full Table 3 grid: every code at every requested version."""
+    model = model or CedarMachineModel()
+    selected = list(codes) if codes is not None else code_names()
+    results: Dict[str, Dict[Version, PerfectResult]] = {}
+    for name in selected:
+        profile = get_profile(name)
+        per_code: Dict[Version, PerfectResult] = {}
+        for version in versions:
+            if version is Version.HAND and profile.hand is None:
+                continue
+            per_code[version] = run_code(name, version, model)
+        results[name] = per_code
+    return results

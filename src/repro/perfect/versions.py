@@ -1,0 +1,238 @@
+"""Program versions of a Perfect code (the columns of Tables 3 and 4).
+
+The measurement ladder follows the paper:
+
+* ``SERIAL`` -- uniprocessor scalar baseline.
+* ``KAP`` -- the 1988 KAP retarget ("Compiled by Kap/Cedar").
+* ``AUTOMATABLE`` -- manually applied but automatable transformations, with
+  compiler-generated prefetch and Cedar synchronization in the run-time
+  library.
+* ``AUTOMATABLE_NO_SYNC`` -- the same program without Cedar synchronization
+  for loop scheduling (the "No Synchronization" column).
+* ``AUTOMATABLE_NO_PREFETCH`` -- additionally without prefetching (the "No
+  Prefetch" column, "given with respect to 'No Synchronization' results").
+* ``HAND`` -- the Section 4.2 manual optimization ("We use prefetch but not
+  Cedar synchronization").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+from repro.lang.loops import (
+    Barrier,
+    Construct,
+    Doall,
+    IOSection,
+    LoopKind,
+    Reduction,
+    SerialSection,
+    VirtualMemoryActivity,
+    Work,
+)
+from repro.lang.placement import Placement
+from repro.lang.program import Program
+from repro.lang.runtime import RuntimeOptions, Schedule
+from repro.perfect.profiles import CodeProfile
+
+
+class Version(enum.Enum):
+    """One measured configuration of a Perfect code."""
+
+    SERIAL = "serial"
+    KAP = "kap"
+    AUTOMATABLE = "automatable"
+    AUTOMATABLE_NO_SYNC = "no-sync"
+    AUTOMATABLE_NO_PREFETCH = "no-prefetch"
+    HAND = "hand"
+
+
+def options_for(version: Version, profile: CodeProfile) -> RuntimeOptions:
+    """Run-time library configuration for a version."""
+    if version is Version.KAP:
+        return RuntimeOptions(single_cluster=profile.kap_single_cluster)
+    if version is Version.AUTOMATABLE:
+        return RuntimeOptions()
+    if version is Version.AUTOMATABLE_NO_SYNC:
+        return RuntimeOptions(use_cedar_sync=False)
+    if version is Version.AUTOMATABLE_NO_PREFETCH:
+        return RuntimeOptions(use_cedar_sync=False, use_prefetch=False)
+    if version is Version.HAND:
+        # Footnote to Table 4: "We use prefetch but not Cedar
+        # synchronization" -- and the hand tunings statically schedule
+        # their loops ("Both SDOALL and XDOALL loops can be statically
+        # scheduled or self-scheduled via run-time library options").
+        return RuntimeOptions(use_cedar_sync=False, schedule=Schedule.STATIC)
+    return RuntimeOptions()
+
+
+def build_program(profile: CodeProfile, version: Version) -> Program:
+    """The workload-IR program of one code at one restructuring level."""
+    if version is Version.HAND:
+        return _structured_program(profile.with_hand_optimization(),
+                                   coverage=None, hand=True)
+    if version is Version.KAP:
+        return _structured_program(profile, coverage=profile.kap_coverage,
+                                   privatized=False)
+    # SERIAL and the three automatable variants share the automatable
+    # program structure; SERIAL is timed by execute_serial, and the no-sync
+    # / no-prefetch variants differ only in RuntimeOptions.
+    return _structured_program(profile, coverage=profile.auto_coverage)
+
+
+def _structured_program(
+    profile: CodeProfile,
+    coverage: float | None,
+    privatized: bool = True,
+    hand: bool = False,
+) -> Program:
+    if coverage is None:
+        coverage = profile.auto_coverage
+    body: List[Construct] = []
+    if profile.io_bytes > 0:
+        body.append(
+            IOSection(profile.io_bytes, formatted=profile.io_formatted, label="io")
+        )
+
+    parallel_flops = coverage * profile.total_flops
+    serial_flops = profile.total_flops - parallel_flops
+    words_per_flop = 1.0 / profile.flops_per_word
+
+    if parallel_flops > 0:
+        global_fraction = (
+            profile.global_data_fraction
+            if privatized
+            # Without privatization/loop-local placement most shared data
+            # stays GLOBAL (KAP's regime).
+            else max(profile.global_data_fraction, 0.85)
+        )
+        body.extend(
+            _parallel_loops(
+                profile,
+                parallel_flops,
+                words_per_flop,
+                global_fraction,
+                hierarchical=hand
+                and profile.hand is not None
+                and profile.hand.use_cluster_hierarchy,
+            )
+        )
+
+    if serial_flops > 0:
+        # The serial remainder reads the same arrays the parallel loops
+        # use: the globally-placed share pays global latency (and gains
+        # from prefetch), the privatizable share stays in cluster memory.
+        # Only data the restructurer actually globalized is affected, so
+        # the GLOBAL share scales with the parallel coverage (variable
+        # placement defaults to cluster memory on Cedar).
+        serial_scalar = min(0.85, profile.scalar_memory_fraction + 0.15)
+        # Only vectorizable array data gets the GLOBAL attribute (the
+        # restructurer globalizes what the parallel vector loops stream),
+        # so the serial remainder's exposure scales with both coverage and
+        # vectorizability.
+        serial_global = (
+            profile.global_data_fraction
+            * coverage
+            * profile.loop_vector_fraction
+        )
+        for fraction, placement, label in (
+            (serial_global, Placement.GLOBAL, "serial-global"),
+            (1.0 - serial_global, Placement.CLUSTER, "serial-cluster"),
+        ):
+            if fraction <= 0:
+                continue
+            flops = serial_flops * fraction
+            body.append(
+                SerialSection(
+                    Work(
+                        flops=flops,
+                        memory_words=flops * words_per_flop,
+                        vector_fraction=profile.serial_vector_fraction,
+                        vector_length=profile.vector_length,
+                        scalar_memory_fraction=serial_scalar,
+                    ),
+                    placement=placement,
+                    prefetchable_fraction=profile.prefetchable_fraction * 0.7,
+                    label=label,
+                )
+            )
+
+    if profile.multicluster_barriers > 0:
+        body.append(
+            Barrier(multicluster=True, count=profile.multicluster_barriers,
+                    label="barriers")
+        )
+    if profile.reduction_elements > 0:
+        body.append(Reduction(profile.reduction_elements, label="reductions"))
+    if profile.paging_seconds > 0:
+        body.append(
+            VirtualMemoryActivity(profile.paging_seconds, label="paging")
+        )
+    return Program(
+        name=profile.name, body=body, flop_count=profile.total_flops
+    )
+
+
+def _parallel_loops(
+    profile: CodeProfile,
+    parallel_flops: float,
+    words_per_flop: float,
+    global_fraction: float,
+    hierarchical: bool,
+) -> List[Construct]:
+    """Split the parallel work into a GLOBAL-data loop and a privatized one."""
+    loops: List[Construct] = []
+    splits: List[Tuple[float, Placement, str]] = []
+    if global_fraction > 0:
+        splits.append((global_fraction, Placement.GLOBAL, "global-loops"))
+    if global_fraction < 1:
+        splits.append((1.0 - global_fraction, Placement.LOOP_LOCAL, "local-loops"))
+    for fraction, placement, label in splits:
+        # The dynamic loop starts divide between the splits in proportion
+        # to their work (they are disjoint subsets of the code's loops).
+        instances = max(1, round(profile.parallel_loop_instances * fraction))
+        flops = parallel_flops * fraction
+        per_iteration = flops / (instances * profile.trip_count)
+        work = Work(
+            flops=per_iteration,
+            memory_words=per_iteration * words_per_flop,
+            vector_fraction=profile.loop_vector_fraction,
+            vector_length=profile.vector_length,
+            scalar_memory_fraction=profile.scalar_memory_fraction,
+        )
+        if hierarchical:
+            # The hand-restructured SDOALL/CDOALL nest: cluster-level
+            # scheduling through the CCB instead of global-memory fetches.
+            inner = Doall(
+                kind=LoopKind.CDOALL,
+                trip_count=max(1, profile.trip_count // 4),
+                body=work,
+                placement=placement,
+                prefetchable_fraction=profile.prefetchable_fraction,
+                label=f"{label}-cdoall",
+            )
+            loops.append(
+                Doall(
+                    kind=LoopKind.SDOALL,
+                    trip_count=4,
+                    body=[inner],
+                    placement=placement,
+                    prefetchable_fraction=profile.prefetchable_fraction,
+                    instances=instances,
+                    label=label,
+                )
+            )
+        else:
+            loops.append(
+                Doall(
+                    kind=LoopKind.XDOALL,
+                    trip_count=profile.trip_count,
+                    body=work,
+                    placement=placement,
+                    prefetchable_fraction=profile.prefetchable_fraction,
+                    instances=instances,
+                    label=label,
+                )
+            )
+    return loops

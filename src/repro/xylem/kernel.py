@@ -1,0 +1,76 @@
+"""The Xylem kernel facade: one object exporting the three service groups.
+
+"Xylem exports virtual memory, scheduling, and file system services for
+Cedar" [EABM91].  ``XylemKernel`` wires a scheduler, a memory manager and a
+file system over one machine configuration, and offers the whole-job entry
+point the examples use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import CedarConfig, DEFAULT_CONFIG
+from repro.xylem.filesystem import FileSystem, IORequest
+from repro.xylem.memory_manager import MemoryManager
+from repro.xylem.scheduler import ClusterScheduler, Task
+
+
+@dataclass
+class JobReport:
+    """Accounting for one job run through the kernel."""
+
+    task: Task
+    io_seconds: float
+    vm_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.task.seconds + self.io_seconds + self.vm_seconds
+
+
+class XylemKernel:
+    """Virtual memory + scheduling + file system over one configuration."""
+
+    def __init__(
+        self,
+        config: CedarConfig = DEFAULT_CONFIG,
+        single_user: bool = True,
+    ) -> None:
+        self.config = config
+        self.scheduler = ClusterScheduler(
+            num_clusters=config.num_clusters, single_user=single_user
+        )
+        self.memory = MemoryManager(config)
+        self.filesystem = FileSystem()
+
+    def run_job(
+        self,
+        name: str,
+        compute_seconds: float,
+        clusters: int = 4,
+        io_requests: Optional[List[IORequest]] = None,
+        touched_segments: Optional[List[str]] = None,
+    ) -> JobReport:
+        """Admit, schedule and account one job.
+
+        The job's compute phase is a scheduler task; its file transfers go
+        through the file system; its first-touch VM costs come from walking
+        the named segments on every cluster it holds.
+        """
+        io_seconds = sum(
+            self.filesystem.transfer(request)
+            for request in (io_requests or [])
+        )
+        task = Task(name=name, clusters_wanted=clusters,
+                    seconds=compute_seconds)
+        self.scheduler.submit(task)
+        self.scheduler.run_to_completion()
+        vm_cycles = 0
+        for segment_name in touched_segments or []:
+            for cluster in sorted(task.clusters_held):
+                vm_cycles += self.memory.touch(cluster, segment_name)
+        vm_seconds = self.config.cycles_to_seconds(vm_cycles)
+        return JobReport(task=task, io_seconds=io_seconds,
+                         vm_seconds=vm_seconds)

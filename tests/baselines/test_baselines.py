@@ -1,0 +1,101 @@
+"""Tests for the Cray Y-MP/8, Cray 1 and CM-5 baseline models."""
+
+import pytest
+
+from repro.baselines import CM5Model, CRAY_1, CRAY_YMP8
+from repro.core.bands import Band, census
+from repro.core.stability import instability, minimal_exclusions_for_stability
+from repro.kernels.banded_matvec import BandedMatvec
+
+
+class TestCrayYmp:
+    def test_thirteen_codes(self):
+        assert len(CRAY_YMP8.measurements) == 13
+        assert CRAY_YMP8.processors == 8
+
+    def test_clock_ratio_quoted_by_paper(self):
+        assert 170.0 / CRAY_YMP8.clock_ns == pytest.approx(28.33, abs=0.01)
+
+    def test_table5_instabilities(self):
+        rates = CRAY_YMP8.mflops_ensemble()
+        assert instability(rates, 0) == pytest.approx(75.3, abs=0.2)
+        assert instability(rates, 2) == pytest.approx(29.0, abs=0.2)
+        assert instability(rates, 6) == pytest.approx(5.3, abs=0.2)
+
+    def test_needs_six_exclusions(self):
+        assert minimal_exclusions_for_stability(CRAY_YMP8.mflops_ensemble()) == 6
+
+    def test_table6_compiled_census(self):
+        tally = census(CRAY_YMP8.efficiencies(), 8)
+        assert (tally.high, tally.intermediate, tally.unacceptable) == (0, 6, 7)
+
+    def test_figure3_manual_census(self):
+        tally = census(CRAY_YMP8.efficiencies(manual=True), 8)
+        assert tally.high == 6
+        assert tally.intermediate == 6
+        assert tally.unacceptable == 1
+
+    def test_ensemble_view(self):
+        ensemble = CRAY_YMP8.ensemble()
+        assert ensemble.processors == 8
+        assert len(ensemble) == 13
+
+
+class TestCray1:
+    def test_uniprocessor(self):
+        assert CRAY_1.processors == 1
+        assert all(m.compiled_speedup == 1.0
+                   for m in CRAY_1.measurements.values())
+
+    def test_table5_instabilities(self):
+        rates = CRAY_1.mflops_ensemble()
+        assert instability(rates, 0) == pytest.approx(10.9, abs=0.2)
+        assert instability(rates, 2) == pytest.approx(4.6, abs=0.2)
+
+    def test_two_exclusions_for_stability(self):
+        assert minimal_exclusions_for_stability(CRAY_1.mflops_ensemble()) == 2
+
+    def test_far_more_stable_than_parallel_machines(self):
+        assert instability(CRAY_1.mflops_ensemble(), 0) < instability(
+            CRAY_YMP8.mflops_ensemble(), 0
+        ) / 5
+
+
+class TestCM5:
+    def test_paper_rate_ranges_at_32(self):
+        model = CM5Model(processors=32)
+        for n in (16_384, 65_536, 262_144):
+            bw3 = model.mflops(BandedMatvec(n, 3))
+            bw11 = model.mflops(BandedMatvec(n, 11))
+            assert 27.0 <= bw3 <= 33.0, n
+            assert 57.0 <= bw11 <= 68.0, n
+
+    def test_never_high_band(self):
+        for partition in (32, 256, 512):
+            model = CM5Model(processors=partition)
+            for bandwidth in (3, 11):
+                for point in model.scalability_points(
+                    bandwidth, [16_384, 65_536, 262_144]
+                ):
+                    assert point.band is Band.INTERMEDIATE, (
+                        partition, bandwidth, point
+                    )
+
+    def test_rate_grows_with_problem_size(self):
+        model = CM5Model(processors=256)
+        small = model.mflops(BandedMatvec(16_384, 11))
+        large = model.mflops(BandedMatvec(262_144, 11))
+        assert large > small
+
+    def test_wider_band_means_higher_rate(self):
+        model = CM5Model(processors=32)
+        assert model.mflops(BandedMatvec(65_536, 11)) > model.mflops(
+            BandedMatvec(65_536, 3)
+        )
+
+    def test_per_processor_rate_roughly_cedar_equivalent(self):
+        """Paper: 'the per-processor MFLOPS of the two systems on these
+        problems are roughly equivalent' (~1-2 MFLOPS per processor)."""
+        model = CM5Model(processors=32)
+        per_processor = model.mflops(BandedMatvec(65_536, 11)) / 32
+        assert 1.0 <= per_processor <= 3.0

@@ -1,0 +1,146 @@
+"""Tests for the Fortran-subset front end."""
+
+import pytest
+
+from repro.compiler import CedarRestructurer, KapCompiler
+from repro.compiler.frontend import parse_affine, parse_nest
+from repro.compiler.ir import ArrayRef, ScalarRef
+from repro.errors import CompilerError
+
+
+class TestAffineParsing:
+    def test_simple_variable(self):
+        expr = parse_affine("I")
+        assert expr.coefficient("I") == 1
+        assert expr.constant == 0
+
+    def test_full_expression(self):
+        expr = parse_affine("2*I + J - 3")
+        assert expr.coefficient("I") == 2
+        assert expr.coefficient("J") == 1
+        assert expr.constant == -3
+
+    def test_coefficient_on_either_side(self):
+        assert parse_affine("I*4").coefficient("I") == 4
+
+    def test_constant_only(self):
+        assert parse_affine("42").constant == 42
+
+    def test_nonaffine_rejected(self):
+        with pytest.raises(CompilerError):
+            parse_affine("I*J")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CompilerError):
+            parse_affine("I(")
+
+
+class TestNestParsing:
+    def test_labelled_continue_form(self):
+        nest = parse_nest(
+            """
+            DO 10 I = 1, 100
+               B(I) = A(I)
+         10 CONTINUE
+            """
+        )
+        assert nest.root.index == "I"
+        assert nest.trip_count() == 100
+        (statement,) = list(nest.root.statements())
+        assert statement.lhs.array == "B"
+
+    def test_end_do_form(self):
+        nest = parse_nest(
+            """
+            DO I = 1, 64, 2
+               B(I) = A(I)
+            END DO
+            """
+        )
+        assert nest.root.step == 2
+        assert nest.trip_count() == 32
+
+    def test_nested_loops(self):
+        nest = parse_nest(
+            """
+            DO 20 J = 1, 8
+               DO 10 I = 1, 16
+                  U(I, J) = V(I, J)
+         10    CONTINUE
+         20 CONTINUE
+            """
+        )
+        inner = list(nest.root.inner_loops())
+        assert len(inner) == 1
+        assert inner[0].trip_count() == 16
+
+    def test_symbolic_bound(self):
+        nest = parse_nest("DO I = 1, N\n  B(I) = A(I)\nEND DO",
+                          symbols={"N": 77})
+        assert nest.trip_count() == 77
+
+    def test_reduction_detected(self):
+        nest = parse_nest(
+            "DO I = 1, 10\n  S = S + A(I)\nEND DO"
+        )
+        (statement,) = list(nest.root.statements())
+        assert statement.reduction_op == "+"
+        assert statement.increment is None
+
+    def test_induction_increment_detected(self):
+        nest = parse_nest(
+            "DO I = 1, 10\n  K = K + 3\n  C(K) = A(I)\nEND DO"
+        )
+        update = next(iter(nest.root.statements()))
+        assert update.increment == 3
+
+    def test_comments_and_blanks_ignored(self):
+        nest = parse_nest(
+            """
+            ! a comment
+            DO I = 1, 4
+
+               B(I) = A(I)   ! trailing comment
+            END DO
+            """
+        )
+        assert nest.trip_count() == 4
+
+    def test_unterminated_loop_rejected(self):
+        with pytest.raises(CompilerError):
+            parse_nest("DO I = 1, 4\n  B(I) = A(I)")
+
+    def test_unsupported_statement_rejected(self):
+        with pytest.raises(CompilerError):
+            parse_nest("DO I = 1, 4\n  GOTO 10\nEND DO")
+
+    def test_multiple_top_level_nests_rejected(self):
+        with pytest.raises(CompilerError):
+            parse_nest(
+                "DO I = 1, 4\n B(I) = A(I)\nEND DO\n"
+                "DO J = 1, 4\n C(J) = A(J)\nEND DO"
+            )
+
+
+class TestEndToEnd:
+    def test_source_through_both_compilers(self):
+        source = """
+        DO 10 I = 1, 1000
+           T = A(I)
+           S = S + T * T
+           B(I) = T
+     10 CONTINUE
+        """
+        nest = parse_nest(source, "pair-sum")
+        assert not KapCompiler().compile(nest).parallelized
+        report = CedarRestructurer().compile(nest)
+        assert report.parallelized
+        applied = " ".join(report.applied)
+        assert "privatization(T)" in applied
+        assert "reductions(S)" in applied
+
+    def test_recurrence_from_source_stays_serial(self):
+        nest = parse_nest(
+            "DO I = 2, 100\n  X(I) = X(I-1)\nEND DO", "recurrence"
+        )
+        assert not CedarRestructurer().compile(nest).parallelized

@@ -1,0 +1,238 @@
+"""Tests for the individual restructuring passes."""
+
+import pytest
+
+from repro.compiler.ir import (
+    ArrayRef,
+    Assignment,
+    Loop,
+    ScalarRef,
+    const,
+    var,
+)
+from repro.compiler.passes.induction import substitute_induction_variables
+from repro.compiler.passes.parallelize import parallelize
+from repro.compiler.passes.prefetch_insert import (
+    MAX_PREFETCH_WORDS,
+    PrefetchDirective,
+    insert_prefetches,
+)
+from repro.compiler.passes.privatization import privatize
+from repro.compiler.passes.reductions import recognize_reductions
+from repro.compiler.passes.runtime_test import insert_runtime_tests
+from repro.compiler.passes.stripmine import balanced_strips, balanced_stripmine
+from repro.errors import CompilerError
+
+I = var("i")
+
+
+class TestPrivatization:
+    def test_write_before_read_scalar_is_private(self):
+        loop = Loop("i", const(1), const(10), body=(
+            Assignment(lhs=ScalarRef("t", True), reads=(ArrayRef("a", (I,)),)),
+            Assignment(lhs=ArrayRef("b", (I,), True), reads=(ScalarRef("t"),)),
+        ))
+        assert privatize(loop).private == ("t",)
+
+    def test_upward_exposed_read_not_private(self):
+        loop = Loop("i", const(1), const(10), body=(
+            Assignment(lhs=ArrayRef("b", (I,), True), reads=(ScalarRef("t"),)),
+            Assignment(lhs=ScalarRef("t", True), reads=(ArrayRef("a", (I,)),)),
+        ))
+        assert privatize(loop).private == ()
+
+    def test_work_array_privatized(self):
+        j = var("j")
+        loop = Loop("i", const(1), const(10), body=(
+            Assignment(lhs=ArrayRef("w", (j,), True),
+                       reads=(ArrayRef("a", (I,)),)),
+            Assignment(lhs=ArrayRef("b", (I,), True),
+                       reads=(ArrayRef("w", (j,)),)),
+        ))
+        assert "w" in privatize(loop).private
+
+    def test_array_indexed_by_loop_not_privatized(self):
+        loop = Loop("i", const(1), const(10), body=(
+            Assignment(lhs=ArrayRef("b", (I,), True),
+                       reads=(ArrayRef("a", (I,)),)),
+        ))
+        assert privatize(loop).private == ()
+
+
+class TestReductions:
+    def test_sum_reduction_recognized(self):
+        loop = Loop("i", const(1), const(10), body=(
+            Assignment(lhs=ScalarRef("s", True),
+                       reads=(ScalarRef("s"), ArrayRef("a", (I,))),
+                       reduction_op="+"),
+        ))
+        assert recognize_reductions(loop).reductions == ("s",)
+
+    def test_mixed_operators_disqualify(self):
+        loop = Loop("i", const(1), const(10), body=(
+            Assignment(lhs=ScalarRef("s", True),
+                       reads=(ScalarRef("s"),), reduction_op="+"),
+            Assignment(lhs=ScalarRef("s", True),
+                       reads=(ScalarRef("s"),), reduction_op="*"),
+        ))
+        assert recognize_reductions(loop).reductions == ()
+
+    def test_mid_loop_read_disqualifies(self):
+        loop = Loop("i", const(1), const(10), body=(
+            Assignment(lhs=ScalarRef("s", True),
+                       reads=(ScalarRef("s"),), reduction_op="+"),
+            Assignment(lhs=ArrayRef("b", (I,), True), reads=(ScalarRef("s"),)),
+        ))
+        assert recognize_reductions(loop).reductions == ()
+
+    def test_induction_updates_not_reductions(self):
+        loop = Loop("i", const(1), const(10), body=(
+            Assignment(lhs=ScalarRef("k", True), reads=(ScalarRef("k"),),
+                       reduction_op="+", increment=1),
+        ))
+        assert recognize_reductions(loop).reductions == ()
+
+
+class TestInduction:
+    def _loop(self):
+        k = var("k")
+        return Loop("i", const(1), const(10), body=(
+            Assignment(lhs=ScalarRef("k", True), reads=(ScalarRef("k"),),
+                       reduction_op="+", increment=2),
+            Assignment(lhs=ArrayRef("c", (k,), True),
+                       reads=(ArrayRef("a", (I,)),)),
+        ))
+
+    def test_update_statement_removed(self):
+        rewritten = substitute_induction_variables(self._loop())
+        names = [s.lhs.array if isinstance(s.lhs, ArrayRef) else s.lhs.name
+                 for s in rewritten.statements()]
+        assert names == ["c"]
+
+    def test_subscript_gets_closed_form(self):
+        rewritten = substitute_induction_variables(self._loop())
+        (statement,) = list(rewritten.statements())
+        subscript = statement.lhs.subscripts[0]
+        assert subscript.coefficient("i") == 2  # k grows by 2 per iteration
+        assert subscript.coefficient("k") == 1  # symbolic initial value
+
+    def test_no_induction_is_identity(self):
+        loop = Loop("i", const(1), const(10), body=(
+            Assignment(lhs=ArrayRef("b", (I,), True)),
+        ))
+        assert substitute_induction_variables(loop) is loop
+
+
+class TestParallelize:
+    def test_independent_loop_marked(self):
+        loop = Loop("i", const(1), const(10), body=(
+            Assignment(lhs=ArrayRef("b", (I,), True),
+                       reads=(ArrayRef("a", (I,)),)),
+        ))
+        assert parallelize(loop).parallel
+
+    def test_recurrence_blocked(self):
+        loop = Loop("i", const(2), const(10), body=(
+            Assignment(lhs=ArrayRef("x", (I,), True),
+                       reads=(ArrayRef("x", (I - 1,)),)),
+        ))
+        assert not parallelize(loop).parallel
+
+    def test_private_marker_neutralizes(self):
+        loop = Loop("i", const(1), const(10), private=("t",), body=(
+            Assignment(lhs=ScalarRef("t", True), reads=(ArrayRef("a", (I,)),)),
+            Assignment(lhs=ArrayRef("b", (I,), True), reads=(ScalarRef("t"),)),
+        ))
+        assert parallelize(loop).parallel
+
+    def test_runtime_test_defers_symbolic(self):
+        m = var("m")
+        loop = Loop("i", const(1), const(10), body=(
+            Assignment(lhs=ArrayRef("x", (I + m,), True),
+                       reads=(ArrayRef("x", (I,)),)),
+        ))
+        assert not parallelize(loop).parallel
+        tested = insert_runtime_tests(loop)
+        assert tested.parallel
+        assert tested.needs_runtime_test
+
+    def test_runtime_test_cannot_fix_proven_dependence(self):
+        loop = Loop("i", const(2), const(10), body=(
+            Assignment(lhs=ArrayRef("x", (I,), True),
+                       reads=(ArrayRef("x", (I - 1,)),)),
+        ))
+        assert not insert_runtime_tests(loop).parallel
+
+
+class TestStripmine:
+    def test_balanced_partition(self):
+        strips = balanced_strips(10, 4)
+        assert [s.length for s in strips] == [3, 3, 2, 2]
+        assert strips[0].start == 0
+        assert strips[-1].stop == 10
+
+    def test_lengths_differ_by_at_most_one(self):
+        for n in (1, 7, 31, 100, 1000):
+            for p in (1, 3, 8, 32):
+                lengths = [s.length for s in balanced_strips(n, p)]
+                assert sum(lengths) == n
+                assert max(lengths) - min(lengths) <= 1
+
+    def test_symbolic_trip_rejected(self):
+        loop = Loop("i", const(1), var("n"))
+        with pytest.raises(CompilerError):
+            balanced_stripmine(loop, 8)
+
+    def test_bad_arguments(self):
+        with pytest.raises(CompilerError):
+            balanced_strips(-1, 4)
+        with pytest.raises(CompilerError):
+            balanced_strips(10, 0)
+
+
+class TestPrefetchInsertion:
+    def test_global_stride_one_read_prefetched(self):
+        loop = Loop("i", const(1), const(100), body=(
+            Assignment(lhs=ArrayRef("b", (I,), True),
+                       reads=(ArrayRef("a", (I,)),)),
+        ))
+        directives = insert_prefetches(loop, global_arrays={"a"})
+        assert len(directives) == 1
+        assert directives[0].array == "a"
+        assert directives[0].stride == 1
+        assert directives[0].length == MAX_PREFETCH_WORDS
+
+    def test_non_global_operand_skipped(self):
+        loop = Loop("i", const(1), const(100), body=(
+            Assignment(lhs=ArrayRef("b", (I,), True),
+                       reads=(ArrayRef("a", (I,)),)),
+        ))
+        assert insert_prefetches(loop, global_arrays=set()) == []
+
+    def test_invariant_operand_not_prefetched(self):
+        loop = Loop("i", const(1), const(100), body=(
+            Assignment(lhs=ArrayRef("b", (I,), True),
+                       reads=(ArrayRef("a", (const(3),)),)),
+        ))
+        assert insert_prefetches(loop, global_arrays={"a"}) == []
+
+    def test_floating_requires_local_work(self):
+        loop = Loop("i", const(1), const(100), body=(
+            Assignment(lhs=ArrayRef("b", (I,), True),
+                       reads=(ArrayRef("a", (I,)), ArrayRef("w", (I,)))),
+        ))
+        directives = insert_prefetches(loop, global_arrays={"a"})
+        assert directives[0].floated  # w is local: prefetch can float
+
+    def test_short_trip_shortens_prefetch(self):
+        loop = Loop("i", const(1), const(8), body=(
+            Assignment(lhs=ArrayRef("b", (I,), True),
+                       reads=(ArrayRef("a", (I,)),)),
+        ))
+        directives = insert_prefetches(loop, global_arrays={"a"})
+        assert directives[0].length == 8
+
+    def test_directive_length_validated(self):
+        with pytest.raises(ValueError):
+            PrefetchDirective(array="a", statement_id=0, length=0, stride=1,
+                              floated=False)

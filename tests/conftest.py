@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.config import CedarConfig, DEFAULT_CONFIG
+from repro.hardware.machine import CedarMachine
+
+
+@pytest.fixture
+def config() -> CedarConfig:
+    """The Cedar machine as built (4 clusters x 8 CEs)."""
+    return DEFAULT_CONFIG
+
+
+@pytest.fixture
+def machine(config) -> CedarMachine:
+    """A fresh full-size machine (cheap to build; cost is in simulation)."""
+    return CedarMachine(config)
+
+
+@pytest.fixture
+def one_cluster_machine() -> CedarMachine:
+    return CedarMachine(DEFAULT_CONFIG.with_clusters(1))

@@ -1,0 +1,86 @@
+"""Tests for the high/intermediate/unacceptable performance bands."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bands import (
+    Band,
+    BandCensus,
+    band_thresholds,
+    census,
+    classify_efficiency,
+    classify_speedup,
+)
+
+
+class TestThresholds:
+    def test_paper_levels_at_32(self):
+        high, acceptable = band_thresholds(32)
+        assert high == 16.0
+        assert acceptable == pytest.approx(32 / (2 * 5))  # log2(32) = 5
+
+    def test_paper_levels_at_8(self):
+        high, acceptable = band_thresholds(8)
+        assert high == 4.0
+        assert acceptable == pytest.approx(8 / 6)
+
+    def test_below_eight_rejected(self):
+        with pytest.raises(ValueError):
+            band_thresholds(4)
+
+    @given(st.integers(8, 4096))
+    def test_high_always_above_acceptable(self, processors):
+        high, acceptable = band_thresholds(processors)
+        assert high > acceptable > 0
+
+
+class TestClassification:
+    def test_high(self):
+        assert classify_speedup(20.0, 32) is Band.HIGH
+
+    def test_exact_threshold_is_high(self):
+        assert classify_speedup(16.0, 32) is Band.HIGH
+
+    def test_intermediate(self):
+        assert classify_speedup(5.0, 32) is Band.INTERMEDIATE
+
+    def test_unacceptable(self):
+        assert classify_speedup(2.0, 32) is Band.UNACCEPTABLE
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            classify_speedup(-1.0, 32)
+
+    def test_efficiency_equivalent_to_speedup(self):
+        assert classify_efficiency(0.5, 32) is classify_speedup(16.0, 32)
+        assert classify_efficiency(0.2, 32) is classify_speedup(6.4, 32)
+
+    @given(st.floats(0.0, 2.0), st.integers(8, 1024))
+    def test_consistency(self, efficiency, processors):
+        by_eff = classify_efficiency(efficiency, processors)
+        by_speedup = classify_speedup(efficiency * processors, processors)
+        assert by_eff is by_speedup
+
+
+class TestCensus:
+    def test_paper_table6_cedar_shape(self):
+        efficiencies = {
+            "FLO52": 0.56,
+            **{f"mid{i}": 0.2 for i in range(9)},
+            "QCD": 0.05, "SPICE": 0.04, "TRACK": 0.07,
+        }
+        tally = census(efficiencies, 32)
+        assert (tally.high, tally.intermediate, tally.unacceptable) == (1, 9, 3)
+
+    def test_total(self):
+        tally = BandCensus(high=1, intermediate=2, unacceptable=3)
+        assert tally.total == 6
+        assert tally.as_dict() == {
+            "high": 1, "intermediate": 2, "unacceptable": 3
+        }
+
+    def test_empty_census(self):
+        tally = census({}, 32)
+        assert tally.total == 0

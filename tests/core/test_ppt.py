@@ -1,0 +1,160 @@
+"""Tests for the five Practical Parallelism Tests."""
+
+import pytest
+
+from repro.core.bands import Band
+from repro.core.metrics import CodeResult, Ensemble
+from repro.core.ppt import (
+    PPT5Checklist,
+    PracticalParallelismReport,
+    ScalabilityPoint,
+    evaluate_ppt1,
+    evaluate_ppt2,
+    evaluate_ppt3,
+    evaluate_ppt4,
+)
+
+
+def make_ensemble(speedups, mflops=None, processors=32):
+    ensemble = Ensemble(machine="test", processors=processors)
+    mflops = mflops or {}
+    for code, speedup in speedups.items():
+        parallel = 100.0 / speedup
+        rate = mflops.get(code, 5.0)
+        ensemble.add(
+            CodeResult(
+                code=code, machine="test", processors=processors,
+                serial_seconds=100.0, parallel_seconds=parallel,
+                flop_count=rate * parallel * 1e6,
+            )
+        )
+    return ensemble
+
+
+class TestPPT1:
+    def test_passes_with_intermediate_codes(self):
+        ensemble = make_ensemble({"A": 10.0, "B": 8.0, "C": 20.0})
+        result = evaluate_ppt1(ensemble)
+        assert result.passed
+        assert result.bands["C"] is Band.HIGH
+
+    def test_fails_with_many_unacceptable(self):
+        ensemble = make_ensemble({"A": 1.0, "B": 1.5, "C": 20.0})
+        result = evaluate_ppt1(ensemble)
+        assert result.unacceptable_codes == ["A", "B"]
+        assert not result.passed
+
+    def test_tolerates_one_by_default(self):
+        ensemble = make_ensemble({"A": 1.0, "B": 8.0, "C": 20.0})
+        assert evaluate_ppt1(ensemble).passed
+
+
+class TestPPT2:
+    def test_stable_suite_passes(self):
+        ensemble = make_ensemble(
+            {"A": 5.0, "B": 6.0, "C": 7.0},
+            mflops={"A": 4.0, "B": 5.0, "C": 6.0},
+        )
+        result = evaluate_ppt2(ensemble)
+        assert result.exclusions_needed == 0
+        assert result.passed
+
+    def test_two_outliers_still_pass(self):
+        mflops = {"LOW": 0.1, "HIGH": 100.0, "A": 4.0, "B": 5.0, "C": 6.0}
+        ensemble = make_ensemble({c: 5.0 for c in mflops}, mflops=mflops)
+        result = evaluate_ppt2(ensemble)
+        assert result.exclusions_needed == 2
+        assert result.passed
+
+    def test_ymp_style_failure(self):
+        mflops = {f"c{i}": rate for i, rate in enumerate(
+            [0.5, 1.0, 2.0, 13.0, 27.0, 55.0, 111.0]
+        )}
+        ensemble = make_ensemble({c: 2.0 for c in mflops}, mflops=mflops)
+        result = evaluate_ppt2(ensemble)
+        assert result.exclusions_needed > 2
+        assert not result.passed
+
+    def test_profile_contains_requested_points(self):
+        ensemble = make_ensemble(
+            {c: 5.0 for c in "ABCDEFG"},
+            mflops={c: float(i + 1) for i, c in enumerate("ABCDEFG")},
+        )
+        result = evaluate_ppt2(ensemble, exclusion_counts=(0, 2))
+        assert set(result.instability_by_exclusions) == {0, 2}
+
+
+class TestPPT3:
+    def test_census_and_verdict(self):
+        ensemble = make_ensemble({"A": 17.0, "B": 5.0, "C": 1.0, "D": 6.0})
+        result = evaluate_ppt3(ensemble)
+        assert (result.high, result.intermediate, result.unacceptable) == (1, 2, 1)
+        assert result.acceptable_fraction == pytest.approx(0.75)
+        assert result.passed
+
+    def test_fails_when_mostly_unacceptable(self):
+        ensemble = make_ensemble({"A": 1.0, "B": 1.2, "C": 1.1, "D": 8.0})
+        assert not evaluate_ppt3(ensemble).passed
+
+
+def point(processors, size, mflops, efficiency):
+    return ScalabilityPoint(
+        processors=processors, problem_size=size,
+        mflops=mflops, efficiency=efficiency,
+    )
+
+
+class TestPPT4:
+    def test_scalable_machine(self):
+        points = [
+            point(32, 10_000, 34.0, 0.55),
+            point(32, 172_000, 48.0, 0.65),
+        ]
+        result = evaluate_ppt4("cedar", points)
+        assert result.scalable_processor_counts() == [32]
+        assert result.passed
+
+    def test_unstable_rates_fail(self):
+        points = [
+            point(32, 1_000, 5.0, 0.55),
+            point(32, 172_000, 48.0, 0.65),
+        ]
+        result = evaluate_ppt4("wobbly", points)
+        assert result.instability_over_sizes(32) > 2.0
+        assert not result.passed
+
+    def test_unacceptable_band_fails(self):
+        points = [
+            point(32, 10_000, 30.0, 0.05),
+            point(32, 172_000, 40.0, 0.08),
+        ]
+        assert not evaluate_ppt4("slow", points).passed
+
+    def test_needs_two_sizes_per_count(self):
+        result = evaluate_ppt4("single", [point(32, 10_000, 30.0, 0.6)])
+        with pytest.raises(ValueError):
+            result.instability_over_sizes(32)
+        assert result.scalable_processor_counts() == []
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            evaluate_ppt4("none", [])
+
+    def test_worst_band_reported(self):
+        points = [
+            point(32, 10_000, 30.0, 0.6),
+            point(32, 20_000, 32.0, 0.2),
+        ]
+        result = evaluate_ppt4("mixed", points)
+        assert result.band_at(32) is Band.INTERMEDIATE
+
+
+class TestReport:
+    def test_verdict_dictionary(self):
+        report = PracticalParallelismReport(machine="cedar")
+        report.ppt5 = PPT5Checklist(
+            machine="cedar", larger_processor_counts=True, new_technology=False
+        )
+        verdicts = report.verdicts()
+        assert verdicts["PPT1"] is None
+        assert verdicts["PPT5"] is False

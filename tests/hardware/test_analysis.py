@@ -1,0 +1,112 @@
+"""Tests for the monitor analysis tools."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.errors import MonitorError
+from repro.hardware.analysis import (
+    Phase,
+    hot_modules,
+    module_utilizations,
+    phase_summary,
+    phase_timeline,
+    summarize_histogram,
+    utilization,
+)
+from repro.hardware.ce import GlobalLoads, PostEvent
+from repro.hardware.machine import CedarMachine
+from repro.hardware.monitor import EventTracer, Histogrammer
+
+
+def make_tracer(events):
+    tracer = EventTracer(DEFAULT_CONFIG.monitor)
+    tracer.start()
+    for cycle, signal in events:
+        tracer.post(cycle, signal)
+    return tracer
+
+
+class TestPhaseTimeline:
+    def test_simple_phase(self):
+        tracer = make_tracer([(10, "solve-begin"), (50, "solve-end")])
+        phases = phase_timeline(tracer)
+        assert phases == [Phase(name="solve", start_cycle=10, end_cycle=50)]
+        assert phases[0].cycles == 40
+
+    def test_repeated_phases_sum(self):
+        tracer = make_tracer([
+            (0, "io-begin"), (5, "io-end"),
+            (10, "io-begin"), (25, "io-end"),
+        ])
+        assert phase_summary(phase_timeline(tracer)) == {"io": 20}
+
+    def test_nested_phases(self):
+        tracer = make_tracer([
+            (0, "outer-begin"), (5, "inner-begin"),
+            (8, "inner-end"), (20, "outer-end"),
+        ])
+        phases = phase_timeline(tracer)
+        names = [p.name for p in phases]
+        assert set(names) == {"outer", "inner"}
+
+    def test_unmatched_end_raises(self):
+        tracer = make_tracer([(5, "x-end")])
+        with pytest.raises(MonitorError):
+            phase_timeline(tracer)
+
+    def test_dangling_begin_raises(self):
+        tracer = make_tracer([(5, "x-begin")])
+        with pytest.raises(MonitorError):
+            phase_timeline(tracer)
+
+    def test_events_via_ce_postings(self):
+        machine = CedarMachine()
+        machine.monitor.tracer("software").start()
+
+        def kernel(ce):
+            yield PostEvent("load-begin")
+            yield GlobalLoads(start_address=0, length=4)
+            yield PostEvent("load-end")
+
+        machine.run_kernel(kernel, num_ces=1)
+        phases = phase_timeline(machine.monitor.tracer("software"))
+        assert phases[0].name == "load"
+        assert phases[0].cycles > 0
+
+
+class TestHistogramSummary:
+    def test_distribution(self):
+        histogram = Histogrammer(DEFAULT_CONFIG.monitor)
+        for value in (8, 8, 9, 10, 30):
+            histogram.record(value)
+        summary = summarize_histogram(histogram)
+        assert summary.samples == 5
+        assert summary.p50 == 9
+        assert summary.maximum == 30
+        assert summary.mean == pytest.approx(13.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(MonitorError):
+            summarize_histogram(Histogrammer(DEFAULT_CONFIG.monitor))
+
+
+class TestUtilization:
+    def test_bounds(self):
+        assert utilization(50, 100) == 0.5
+        with pytest.raises(MonitorError):
+            utilization(101, 100)
+        with pytest.raises(MonitorError):
+            utilization(1, 0)
+
+    def test_module_utilizations_after_a_run(self):
+        machine = CedarMachine()
+
+        def kernel(ce):
+            yield GlobalLoads(start_address=0, length=32, stride=32)
+
+        end = machine.run_kernel(kernel, num_ces=1)
+        values = module_utilizations(machine, end)
+        assert len(values) == 32
+        assert values[0] > 0  # stride 32 hammers module 0
+        assert sum(v > 0 for v in values) == 1
+        assert hot_modules(machine, end, threshold=0.99) == []

@@ -1,0 +1,125 @@
+"""Tests for the computational element's micro-operations."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware.ce import (
+    Compute,
+    GlobalLoads,
+    GlobalStores,
+    PostEvent,
+    VectorCacheOp,
+)
+from repro.hardware.machine import CedarMachine
+
+
+class TestCompute:
+    def test_busy_for_requested_cycles(self, machine):
+        marks = {}
+
+        def kernel(ce):
+            start = ce.engine.now
+            yield Compute(100, flops=50.0)
+            marks["elapsed"] = ce.engine.now - start
+            marks["flops"] = ce.flops
+
+        machine.run_kernel(kernel, num_ces=1)
+        assert marks["elapsed"] == 100
+        assert marks["flops"] == 50.0
+
+    def test_negative_cycles_rejected(self, machine):
+        def kernel(ce):
+            yield Compute(-1)
+
+        with pytest.raises(SimulationError):
+            machine.run_kernel(kernel, num_ces=1)
+
+
+class TestGlobalLoads:
+    def test_window_of_two_outstanding_bounds_throughput(self, machine):
+        marks = {}
+
+        def kernel(ce):
+            start = ce.engine.now
+            yield GlobalLoads(start_address=0, length=26, stride=1)
+            marks["elapsed"] = ce.engine.now - start
+
+        machine.run_kernel(kernel, num_ces=1)
+        # 26 words at 2 outstanding over a 13-cycle latency ~= 13 cyc/pair.
+        assert marks["elapsed"] >= 26 / 2 * 12
+
+    def test_flop_credit(self, machine):
+        def kernel(ce):
+            yield GlobalLoads(start_address=0, length=8, flops_per_element=2.0)
+
+        machine.run_kernel(kernel, num_ces=1)
+        assert machine.all_ces[0].flops == 16.0
+
+
+class TestGlobalStores:
+    def test_stores_do_not_wait_for_memory(self, machine):
+        marks = {}
+
+        def kernel(ce):
+            start = ce.engine.now
+            yield GlobalStores(start_address=0, length=8)
+            marks["elapsed"] = ce.engine.now - start
+
+        machine.run_kernel(kernel, num_ces=1)
+        # Issue-limited, not latency-limited: well under 8 round trips.
+        assert marks["elapsed"] < 8 * 13
+
+
+class TestVectorCache:
+    def test_pipeline_and_flops(self, machine):
+        def kernel(ce):
+            yield VectorCacheOp(length=32, flops_per_element=2.0)
+
+        cycles = machine.run_kernel(kernel, num_ces=1)
+        assert machine.all_ces[0].flops == 64.0
+        assert cycles >= 32  # at least one element per cycle
+
+    def test_zero_length_rejected(self, machine):
+        def kernel(ce):
+            yield VectorCacheOp(length=0)
+
+        with pytest.raises(SimulationError):
+            machine.run_kernel(kernel, num_ces=1)
+
+
+class TestLifecycle:
+    def test_unknown_operation_rejected(self, machine):
+        def kernel(ce):
+            yield "nonsense"
+
+        with pytest.raises(SimulationError):
+            machine.run_kernel(kernel, num_ces=1)
+
+    def test_post_event_reaches_monitor(self, machine):
+        def kernel(ce):
+            tracer = ce.monitor.tracer("software")
+            tracer.start()
+            yield PostEvent("phase-start", value=3)
+
+        machine.run_kernel(kernel, num_ces=1)
+        events = machine.monitor.tracer("software").events("phase-start")
+        assert len(events) == 1
+        assert events[0].value == 3
+
+    def test_cannot_run_two_kernels_at_once(self, machine):
+        ce = machine.all_ces[0]
+
+        def kernel(c):
+            yield Compute(1000)
+
+        ce.run(kernel)
+        with pytest.raises(SimulationError):
+            ce.run(kernel)
+
+    def test_finished_flag(self, machine):
+        def kernel(ce):
+            yield Compute(5)
+
+        end = machine.run_kernel(kernel, num_ces=2)
+        for ce in machine.ces(2):
+            assert ce.finished_at == end

@@ -1,0 +1,54 @@
+"""Tests for the explicit global<->cluster block moves."""
+
+import pytest
+
+from repro.hardware.cluster_memory import (
+    move_cluster_to_global,
+    move_global_to_cluster,
+)
+from repro.hardware.machine import CedarMachine
+
+
+class TestGlobalToCluster:
+    def test_block_lands_in_cache(self, machine):
+        ce = machine.all_ces[0]
+
+        def kernel(c):
+            yield from move_global_to_cluster(c, 1000, 64)
+
+        machine.run_kernel(kernel, num_ces=1)
+        assert ce.cache.is_resident(1000)
+        assert ce.cache.is_resident(1063)
+
+    def test_large_move_chunks_through_the_pfu(self, machine):
+        ce = machine.all_ces[0]
+        buffer_words = machine.config.prefetch.buffer_words
+
+        def kernel(c):
+            yield from move_global_to_cluster(c, 0, buffer_words + 100)
+
+        machine.run_kernel(kernel, num_ces=1)
+        # Two prefetches: one full buffer plus the 100-word tail.
+        assert len(ce.pfu.completed) == 2
+
+    def test_negative_length_rejected(self, machine):
+        ce = machine.all_ces[0]
+        with pytest.raises(ValueError):
+            list(move_global_to_cluster(ce, 0, -1))
+
+
+class TestClusterToGlobal:
+    def test_stores_reach_memory(self, machine):
+        def kernel(ce):
+            yield from move_cluster_to_global(ce, 2000, 16)
+
+        machine.run_kernel(kernel, num_ces=1)
+        machine.engine.run_until_idle()
+        assert machine.global_memory.total_requests_served == 16
+
+    def test_zero_length_is_a_noop(self, machine):
+        def kernel(ce):
+            yield from move_cluster_to_global(ce, 0, 0)
+
+        machine.run_kernel(kernel, num_ces=1)
+        assert machine.global_memory.total_requests_served == 0

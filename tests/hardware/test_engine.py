@@ -1,0 +1,107 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware.engine import Engine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(5, lambda: order.append("late"))
+        engine.schedule(1, lambda: order.append("early"))
+        engine.run_until_idle()
+        assert order == ["early", "late"]
+
+    def test_ties_break_by_scheduling_order(self):
+        engine = Engine()
+        order = []
+        for tag in ("first", "second", "third"):
+            engine.schedule(3, lambda t=tag: order.append(t))
+        engine.run_until_idle()
+        assert order == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(7, lambda: seen.append(engine.now))
+        engine.run_until_idle()
+        assert seen == [7]
+        assert engine.now == 7
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        seen = []
+
+        def outer():
+            engine.schedule(2, lambda: seen.append(engine.now))
+
+        engine.schedule(3, outer)
+        engine.run_until_idle()
+        assert seen == [5]
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(9, lambda: seen.append(engine.now))
+        engine.run_until_idle()
+        assert seen == [9]
+
+
+class TestRunControl:
+    def test_until_stops_before_later_events(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(5, lambda: seen.append("early"))
+        engine.schedule(50, lambda: seen.append("late"))
+        engine.run(until=10)
+        assert seen == ["early"]
+        assert engine.now == 10
+        assert engine.pending() == 1
+        engine.run_until_idle()
+        assert seen == ["early", "late"]
+
+    def test_event_exactly_at_until_runs(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(10, lambda: seen.append("edge"))
+        engine.run(until=10)
+        assert seen == ["edge"]
+
+    def test_runaway_guard(self):
+        engine = Engine()
+
+        def forever():
+            engine.schedule(1, forever)
+
+        engine.schedule(0, forever)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=1000)
+
+    def test_reentrant_run_rejected(self):
+        engine = Engine()
+
+        def recurse():
+            engine.run()
+
+        engine.schedule(0, recurse)
+        with pytest.raises(SimulationError):
+            engine.run_until_idle()
+
+    def test_determinism_across_instances(self):
+        def trace():
+            engine = Engine()
+            log = []
+            for delay in (3, 1, 4, 1, 5):
+                engine.schedule(delay, lambda d=delay: log.append((engine.now, d)))
+            engine.run_until_idle()
+            return log
+
+        assert trace() == trace()

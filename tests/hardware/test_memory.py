@@ -1,0 +1,89 @@
+"""Tests for the interleaved global-memory modules."""
+
+import pytest
+
+from repro.hardware.ce import GlobalLoads, GlobalStores, SyncInstruction
+from repro.hardware.machine import CedarMachine
+from repro.hardware.memory import module_for_address
+from repro.hardware.sync_processor import OperateOp
+from repro.hardware.sync_processor import TestOp as SyncTestOp
+
+
+class TestInterleaving:
+    def test_double_word_interleave(self):
+        assert module_for_address(0, 32) == 0
+        assert module_for_address(1, 32) == 1
+        assert module_for_address(33, 32) == 1
+
+    def test_stride_one_spreads_over_all_modules(self):
+        modules = {module_for_address(a, 32) for a in range(64)}
+        assert modules == set(range(32))
+
+    def test_stride_32_hits_one_module(self):
+        modules = {module_for_address(a, 32) for a in range(0, 1024, 32)}
+        assert len(modules) == 1
+
+
+class TestModuleService:
+    def test_reads_are_answered(self, machine):
+        done = {}
+
+        def kernel(ce):
+            yield GlobalLoads(start_address=0, length=8, stride=1)
+            done["at"] = ce.engine.now
+
+        machine.run_kernel(kernel, num_ces=1)
+        assert done["at"] > 0
+        assert machine.global_memory.total_requests_served == 8
+
+    def test_writes_consume_service_without_reply(self, machine):
+        def kernel(ce):
+            yield GlobalStores(start_address=0, length=4, stride=1)
+
+        machine.run_kernel(kernel, num_ces=1)
+        machine.engine.run_until_idle()
+        assert machine.global_memory.total_requests_served == 4
+
+    def test_module_busy_accounting(self, machine):
+        def kernel(ce):
+            yield GlobalLoads(start_address=0, length=4, stride=32)
+
+        machine.run_kernel(kernel, num_ces=1)
+        module = machine.global_memory.modules[0]
+        assert module.requests_served == 4
+        assert module.busy_cycles >= 4 * machine.config.global_memory.module_cycle_time
+
+
+class TestSyncThroughMemory:
+    def test_test_and_operate_round_trip(self, machine):
+        outcomes = []
+
+        def kernel(ce):
+            result = yield SyncInstruction(
+                address=77, test=SyncTestOp.ALWAYS, op=OperateOp.ADD, operand=5
+            )
+            outcomes.append(result)
+
+        machine.run_kernel(kernel, num_ces=1)
+        assert outcomes[0].test_passed
+        assert outcomes[0].new_value == 5
+
+    def test_concurrent_adds_are_indivisible(self, machine):
+        def kernel(ce):
+            for _ in range(4):
+                yield SyncInstruction(address=99, op=OperateOp.ADD, operand=1)
+
+        machine.run_kernel(kernel, num_ces=8)
+        module = machine.global_memory.module_for(99)
+        assert module.sync.read(99) == 32  # 8 CEs x 4 increments, none lost
+
+    def test_test_and_set_mutual_exclusion(self, machine):
+        winners = []
+
+        def kernel(ce):
+            outcome = yield SyncInstruction(address=11, test_and_set=True)
+            if outcome.test_passed:
+                winners.append(ce.global_port)
+
+        machine.run_kernel(kernel, num_ces=8)
+        assert len(winners) == 1

@@ -1,0 +1,102 @@
+"""Tests for the performance-monitoring hardware."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.errors import MonitorError
+from repro.hardware.monitor import EventTracer, Histogrammer, PerformanceMonitor
+
+
+class TestEventTracer:
+    def test_captures_only_when_armed(self):
+        tracer = EventTracer(DEFAULT_CONFIG.monitor)
+        tracer.post(1, "sig")
+        assert len(tracer) == 0
+        tracer.start()
+        tracer.post(2, "sig")
+        tracer.stop()
+        tracer.post(3, "sig")
+        assert len(tracer) == 1
+
+    def test_capacity_and_drop_counting(self):
+        from repro.config import MonitorConfig
+        tiny = MonitorConfig(tracer_capacity_events=2)
+        tracer = EventTracer(tiny)
+        tracer.start()
+        for cycle in range(5):
+            tracer.post(cycle, "x")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_cascade_multiplies_capacity(self):
+        from repro.config import MonitorConfig
+        tiny = MonitorConfig(tracer_capacity_events=2)
+        tracer = EventTracer(tiny, cascade=3)
+        assert tracer.capacity == 6
+
+    def test_signal_filtering(self):
+        tracer = EventTracer(DEFAULT_CONFIG.monitor)
+        tracer.start()
+        tracer.post(1, "a")
+        tracer.post(2, "b")
+        assert [e.signal for e in tracer.events("a")] == ["a"]
+
+    def test_invalid_cascade(self):
+        with pytest.raises(MonitorError):
+            EventTracer(DEFAULT_CONFIG.monitor, cascade=0)
+
+
+class TestHistogrammer:
+    def test_mean_of_recorded_values(self):
+        histogram = Histogrammer(DEFAULT_CONFIG.monitor)
+        for value in (8, 10, 12):
+            histogram.record(value)
+        assert histogram.mean() == pytest.approx(10.0)
+
+    def test_bin_width_groups_values(self):
+        histogram = Histogrammer(DEFAULT_CONFIG.monitor, bin_width=10)
+        histogram.record(5)
+        histogram.record(7)
+        assert histogram.counts() == {0: 2}
+
+    def test_overflow_beyond_counters(self):
+        from repro.config import MonitorConfig
+        tiny = MonitorConfig(histogrammer_counters=4)
+        histogram = Histogrammer(tiny)
+        histogram.record(100)
+        assert histogram.overflow == 1
+        assert histogram.total == 0
+
+    def test_percentile(self):
+        histogram = Histogrammer(DEFAULT_CONFIG.monitor)
+        for value in range(1, 101):
+            histogram.record(value)
+        assert histogram.percentile(0.5) == 50
+        assert histogram.percentile(1.0) == 100
+
+    def test_empty_histogram_errors(self):
+        histogram = Histogrammer(DEFAULT_CONFIG.monitor)
+        with pytest.raises(MonitorError):
+            histogram.mean()
+        with pytest.raises(MonitorError):
+            histogram.percentile(0.5)
+
+    def test_negative_values_rejected(self):
+        histogram = Histogrammer(DEFAULT_CONFIG.monitor)
+        with pytest.raises(MonitorError):
+            histogram.record(-1)
+
+
+class TestPerformanceMonitor:
+    def test_named_instruments_are_singletons(self):
+        monitor = PerformanceMonitor(DEFAULT_CONFIG.monitor)
+        assert monitor.tracer("a") is monitor.tracer("a")
+        assert monitor.histogram("h") is monitor.histogram("h")
+
+    def test_start_stop_all(self):
+        monitor = PerformanceMonitor(DEFAULT_CONFIG.monitor)
+        tracer = monitor.tracer("t")
+        monitor.start_all()
+        assert tracer.armed
+        monitor.stop_all()
+        assert not tracer.armed

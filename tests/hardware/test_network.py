@@ -1,0 +1,159 @@
+"""Tests for the multistage shuffle-exchange network."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DEFAULT_CONFIG
+from repro.errors import ConfigurationError
+from repro.hardware.engine import Engine
+from repro.hardware.network import OmegaNetwork, _digit, _with_digit
+from repro.hardware.packet import Packet, PacketKind
+
+
+def make_network(ports=32):
+    engine = Engine()
+    network = OmegaNetwork(engine, ports, DEFAULT_CONFIG.network, name="t")
+    return engine, network
+
+
+def request(source, destination, words=1):
+    return Packet(
+        kind=PacketKind.READ_REQUEST, source=source, destination=destination,
+        address=destination, words=words,
+    )
+
+
+class TestDigits:
+    @given(st.integers(0, 4095), st.integers(0, 3), st.integers(0, 7))
+    def test_with_digit_roundtrip(self, value, position, digit):
+        rewritten = _with_digit(value, position, 8, digit)
+        assert _digit(rewritten, position, 8) == digit
+        # Other positions untouched.
+        for p in range(4):
+            if p != position:
+                assert _digit(rewritten, p, 8) == _digit(value, p, 8)
+
+
+class TestTopology:
+    def test_32_ports_needs_two_stages_of_8x8(self):
+        _, network = make_network(32)
+        assert network.num_stages == 2
+        assert network.num_lines == 64
+        assert all(len(row) == 8 for row in network.stages)
+
+    def test_tiny_network_one_stage(self):
+        _, network = make_network(8)
+        assert network.num_stages == 1
+
+    def test_rejects_too_few_ports(self):
+        engine = Engine()
+        with pytest.raises(ConfigurationError):
+            OmegaNetwork(engine, 1, DEFAULT_CONFIG.network)
+
+    def test_switch_line_mapping_inverse(self):
+        _, network = make_network(32)
+        for stage in range(network.num_stages):
+            for line in range(network.num_lines):
+                sw, port = network._switch_for(stage, line)
+                assert network._line_for(stage, sw, port) == line
+
+
+class TestDelivery:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 31), st.integers(0, 31))
+    def test_unique_path_delivers_to_destination(self, source, destination):
+        engine, network = make_network(32)
+        received = []
+        network.attach_sink(destination, received.append)
+        assert network.try_inject(source, request(source, destination))
+        engine.run_until_idle()
+        assert len(received) == 1
+        assert received[0].destination == destination
+
+    def test_all_to_all_delivery(self):
+        engine, network = make_network(32)
+        received = {port: [] for port in range(32)}
+        for port in range(32):
+            network.attach_sink(port, received[port].append)
+        for source in range(32):
+            destination = (source * 7 + 3) % 32
+            assert network.try_inject(source, request(source, destination))
+        engine.run_until_idle()
+        total = sum(len(v) for v in received.values())
+        assert total == 32
+        for port, packets in received.items():
+            for packet in packets:
+                assert packet.destination == port
+
+    def test_duplicate_sink_rejected(self):
+        _, network = make_network(32)
+        network.attach_sink(3, lambda p: None)
+        with pytest.raises(ConfigurationError):
+            network.attach_sink(3, lambda p: None)
+
+
+class TestFlowControl:
+    def test_entry_queue_fills_and_injection_fails(self):
+        engine, network = make_network(32)
+        # No sink drains port 0: packets pile up through back-pressure.
+        accepted = 0
+        while network.try_inject(0, request(0, 0)):
+            accepted += 1
+            engine.run(until=engine.now + 50)
+            if accepted > 100:
+                break
+        # Finite buffering: stages have 2x2-word queues per port.
+        assert accepted < 30
+
+    def test_on_entry_space_wakes_after_drain(self):
+        engine, network = make_network(32)
+        delivered = []
+        # Fill entry queue without a drain on stage arbiters.
+        blockers = 0
+        while network.try_inject(0, request(0, 0)):
+            blockers += 1
+        woken = []
+        network.on_entry_space(0, lambda: woken.append(True))
+        network.attach_sink(0, delivered.append)
+        engine.run_until_idle()
+        assert woken == [True]
+        assert len(delivered) == blockers
+
+    def test_occupancy_counts_buffered_words(self):
+        engine, network = make_network(32)
+        # No sink: packets come to rest in the delivery queue.
+        network.try_inject(0, request(0, 0))
+        network.try_inject(0, request(0, 0))
+        engine.run_until_idle()
+        assert network.occupancy_words() == 2
+
+    def test_occupancy_zero_after_drain(self):
+        engine, network = make_network(32)
+        network.attach_sink(0, lambda p: None)
+        network.try_inject(0, request(0, 0))
+        engine.run_until_idle()
+        assert network.occupancy_words() == 0
+
+
+class TestContention:
+    def test_many_to_one_serializes(self):
+        engine, network = make_network(32)
+        received = []
+        network.attach_sink(5, received.append)
+        senders = list(range(8))
+        pending = {s: 4 for s in senders}
+
+        def pump(source):
+            while pending[source] and network.try_inject(
+                source, request(source, 5)
+            ):
+                pending[source] -= 1
+            if pending[source]:
+                network.on_entry_space(source, lambda: pump(source))
+
+        for s in senders:
+            pump(s)
+        engine.run_until_idle()
+        assert len(received) == 32
+        # One output port at one word/cycle: 32 packets need >= 32 cycles.
+        assert engine.now >= 32

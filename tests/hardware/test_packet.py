@@ -1,0 +1,48 @@
+"""Tests for network packets."""
+
+import pytest
+
+from repro.hardware.packet import MAX_PACKET_WORDS, Packet, PacketKind
+
+
+def test_packet_word_bounds():
+    with pytest.raises(ValueError):
+        Packet(PacketKind.READ_REQUEST, 0, 1, 0, words=0)
+    with pytest.raises(ValueError):
+        Packet(PacketKind.READ_REQUEST, 0, 1, 0, words=MAX_PACKET_WORDS + 1)
+
+
+def test_negative_ports_rejected():
+    with pytest.raises(ValueError):
+        Packet(PacketKind.READ_REQUEST, -1, 0, 0)
+
+
+def test_payload_words_excludes_header():
+    packet = Packet(PacketKind.WRITE_REQUEST, 0, 1, 0, words=3)
+    assert packet.payload_words == 2
+
+
+def test_reply_swaps_endpoints_and_keeps_tag():
+    request = Packet(
+        PacketKind.READ_REQUEST, source=7, destination=13, address=99,
+        request_tag=42, payload={"k": 1},
+    )
+    reply = request.reply(PacketKind.READ_REPLY, words=1, issue_cycle=55)
+    assert reply.source == 13
+    assert reply.destination == 7
+    assert reply.request_tag == 42
+    assert reply.address == 99
+    assert reply.issue_cycle == 55
+    assert reply.payload == {"k": 1}
+
+
+def test_reply_payload_override():
+    request = Packet(PacketKind.SYNC_REQUEST, 0, 1, 0, payload="op")
+    reply = request.reply(PacketKind.SYNC_REPLY, 1, 0, payload="outcome")
+    assert reply.payload == "outcome"
+
+
+def test_packet_ids_unique():
+    a = Packet(PacketKind.READ_REQUEST, 0, 1, 0)
+    b = Packet(PacketKind.READ_REQUEST, 0, 1, 0)
+    assert a.packet_id != b.packet_id

@@ -1,0 +1,110 @@
+"""Tests for bounded word-queues and blocking links."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware.engine import Engine
+from repro.hardware.packet import Packet, PacketKind
+from repro.hardware.queueing import BoundedWordQueue, Link
+
+
+def packet(words=1, destination=0):
+    return Packet(
+        kind=PacketKind.READ_REQUEST, source=0, destination=destination,
+        address=0, words=words,
+    )
+
+
+class TestBoundedWordQueue:
+    def test_capacity_in_words_not_packets(self):
+        queue = BoundedWordQueue(4)
+        queue.push(packet(words=3))
+        assert not queue.can_accept(packet(words=2))
+        assert queue.can_accept(packet(words=1))
+
+    def test_fifo_order(self):
+        queue = BoundedWordQueue(8)
+        first, second = packet(), packet()
+        queue.push(first)
+        queue.push(second)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_overflow_raises(self):
+        queue = BoundedWordQueue(1)
+        queue.push(packet())
+        with pytest.raises(SimulationError):
+            queue.push(packet())
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            BoundedWordQueue(2).pop()
+
+    def test_item_listener_fires_on_push(self):
+        queue = BoundedWordQueue(4)
+        events = []
+        queue.add_item_listener(lambda: events.append(len(queue)))
+        queue.push(packet())
+        queue.push(packet())
+        assert events == [1, 2]
+
+    def test_space_waiter_fires_once_on_pop(self):
+        queue = BoundedWordQueue(1)
+        queue.push(packet())
+        woken = []
+        queue.wait_for_space(lambda: woken.append("a"))
+        queue.wait_for_space(lambda: woken.append("b"))
+        queue.pop()
+        assert woken == ["a"]  # one waiter per freed slot
+        queue.push(packet())
+        queue.pop()
+        assert woken == ["a", "b"]
+
+    def test_word_accounting(self):
+        queue = BoundedWordQueue(8)
+        queue.push(packet(words=3))
+        assert queue.used_words == 3
+        assert queue.free_words == 5
+        queue.pop()
+        assert queue.used_words == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedWordQueue(0)
+
+
+class TestLink:
+    def test_transfers_at_one_word_per_cycle(self):
+        engine = Engine()
+        source = BoundedWordQueue(8)
+        sink = BoundedWordQueue(8)
+        Link(engine, source, sink)
+        source.push(packet(words=3))
+        engine.run_until_idle()
+        assert len(sink) == 1
+        assert engine.now == 3
+
+    def test_blocks_on_full_sink_until_space(self):
+        engine = Engine()
+        source = BoundedWordQueue(8)
+        sink = BoundedWordQueue(1)
+        Link(engine, source, sink)
+        blocker = packet()
+        sink.push(blocker)
+        source.push(packet())
+        engine.run_until_idle()
+        assert len(sink) == 1  # still just the blocker; link is waiting
+        sink.pop()
+        engine.run_until_idle()
+        assert len(sink) == 1  # the delayed packet arrived
+
+    def test_drains_backlog(self):
+        engine = Engine()
+        source = BoundedWordQueue(8)
+        sink = BoundedWordQueue(64)
+        Link(engine, source, sink)
+        for _ in range(4):
+            source.push(packet(words=2))
+        engine.run_until_idle()
+        assert len(sink) == 4
+        assert engine.now == 8  # 4 packets x 2 words x 1 cycle

@@ -1,0 +1,64 @@
+"""Tests for the vector-unit timing model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import DEFAULT_CONFIG, CE_PEAK_MFLOPS
+from repro.hardware.vector_unit import VectorUnit
+
+
+@pytest.fixture
+def unit():
+    return VectorUnit(DEFAULT_CONFIG.vector)
+
+
+class TestStripLengths:
+    def test_exact_multiple(self, unit):
+        assert unit.strip_lengths(64) == [32, 32]
+
+    def test_remainder_strip(self, unit):
+        assert unit.strip_lengths(70) == [32, 32, 6]
+
+    def test_zero_length(self, unit):
+        assert unit.strip_lengths(0) == []
+
+    def test_negative_rejected(self, unit):
+        with pytest.raises(ValueError):
+            unit.strip_lengths(-1)
+
+    @given(st.integers(0, 10_000))
+    def test_strips_tile_exactly(self, length):
+        unit = VectorUnit(DEFAULT_CONFIG.vector)
+        strips = unit.strip_lengths(length)
+        assert sum(strips) == length
+        assert all(1 <= s <= 32 for s in strips)
+
+
+class TestTiming:
+    def test_instruction_timing(self, unit):
+        timing = unit.instruction_timing(32)
+        assert timing.startup_cycles == 12
+        assert timing.element_cycles == 32
+        assert timing.total_cycles == 44
+
+    def test_over_register_length_rejected(self, unit):
+        with pytest.raises(ValueError):
+            unit.instruction_timing(33)
+
+    def test_stripmined_cycles(self, unit):
+        # 64 elements = 2 strips of (12 + 32).
+        assert unit.stripmined_cycles(64) == 88
+
+    def test_efficiency_rises_with_length(self, unit):
+        assert unit.efficiency_at(64) > unit.efficiency_at(8)
+
+    def test_full_strip_efficiency_matches_effective_peak(self, unit):
+        # 32/(32+12) = the 274/376 effective-peak ratio of Section 4.1.
+        ratio = unit.efficiency_at(32)
+        assert ratio == pytest.approx(
+            DEFAULT_CONFIG.effective_peak_mflops / DEFAULT_CONFIG.peak_mflops
+        )
+
+    def test_machine_peaks(self):
+        assert DEFAULT_CONFIG.peak_mflops == pytest.approx(32 * CE_PEAK_MFLOPS)
+        assert DEFAULT_CONFIG.effective_peak_mflops == pytest.approx(274.6, abs=1.0)

@@ -1,0 +1,39 @@
+"""The example scripts must run end to end (the fast ones, at least)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "first-word latency 8" in out
+        assert "TRFD" in out
+
+    def test_restructure_loops(self, capsys):
+        out = run_example("restructure_loops.py", capsys)
+        assert "KAP-1988 parallelizes 'weighted-sum': False" in out
+        assert "privatization(t)" in out
+        assert "reductions(s)" in out
+
+    def test_xylem_os_study(self, capsys):
+        out = run_example("xylem_os_study.py", capsys)
+        assert "single-user" in out
+        assert "4.0x the faults" in out
+
+    def test_judging_parallelism(self, capsys):
+        out = run_example("judging_parallelism.py", capsys)
+        assert "Cedar verdicts" in out
+        assert "'PPT2': True" in out
+        assert "Y-MP/8 verdicts" in out
+        assert "'PPT2': False" in out

@@ -1,0 +1,96 @@
+"""Tests for the [GJTV91] characterization suite and the [ZhYe87] DOACROSS."""
+
+import pytest
+
+from repro.kernels.doacross import run_doacross, serial_cycles
+from repro.kernels.memory_characterization import (
+    aggregate_bandwidth_megabytes,
+    measure_stride,
+    modules_touched,
+    stride_sweep,
+)
+
+
+class TestModulesTouched:
+    def test_stride_one_spreads_everywhere(self):
+        assert modules_touched(1, 32) == 32
+
+    def test_power_of_two_strides(self):
+        assert modules_touched(2, 32) == 16
+        assert modules_touched(8, 32) == 4
+        assert modules_touched(32, 32) == 1
+
+    def test_odd_strides_spread_fully(self):
+        assert modules_touched(3, 32) == 32
+        assert modules_touched(31, 32) == 32
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(ValueError):
+            modules_touched(0, 32)
+
+
+class TestStrideSweep:
+    def test_stride_32_collapses_to_one_module(self):
+        point = measure_stride(32, num_ces=4, blocks=4)
+        assert point.modules_touched == 1
+        # One module departs a word every (service + handoff) cycles.
+        assert point.interarrival >= 3.5
+
+    def test_unit_stride_near_full_rate(self):
+        point = measure_stride(1, num_ces=4, blocks=4)
+        assert point.interarrival <= 1.5
+
+    def test_sweep_orders_by_interleave_structure(self):
+        points = {p.stride: p for p in stride_sweep((1, 32), num_ces=4)}
+        assert points[32].interarrival > points[1].interarrival * 2
+        assert points[1].megabytes_per_second_per_ce > (
+            points[32].megabytes_per_second_per_ce
+        )
+
+    def test_aggregate_bandwidth_grows_then_saturates(self):
+        small = aggregate_bandwidth_megabytes(4, blocks=6)
+        mid = aggregate_bandwidth_megabytes(16, blocks=6)
+        large = aggregate_bandwidth_megabytes(32, blocks=6)
+        assert mid > small  # more CEs, more aggregate
+        # Saturation: doubling the CEs past 16 buys little, and the total
+        # stays below the 768 MB/s interface peak -- "the observed maximum
+        # bandwidth of memory system characterization benchmarks" sits
+        # well under peak [GJTV91].
+        assert large < 768.0
+        assert large / mid < 1.3
+
+
+class TestDoacross:
+    def test_dependences_enforced(self):
+        result = run_doacross(iterations=24, dependence_distance=1,
+                              body_cycles=100, num_ces=4)
+        assert result.enforced
+        order = result.completion_order
+        for i in range(1, 24):
+            assert order.index(i - 1) < order.index(i)
+
+    def test_distance_two_allows_pipelining(self):
+        result = run_doacross(iterations=32, dependence_distance=2,
+                              body_cycles=150, num_ces=8)
+        assert result.enforced
+        assert result.cycles < serial_cycles(32, 150)
+
+    def test_distance_one_limits_speedup(self):
+        """A distance-1 recurrence serializes the bodies: the DOACROSS can
+        only hide the synchronization latency, never the body chain."""
+        result = run_doacross(iterations=16, dependence_distance=1,
+                              body_cycles=200, num_ces=8)
+        assert result.cycles >= 16 * 200  # the critical path
+
+    def test_larger_distance_is_faster(self):
+        tight = run_doacross(iterations=24, dependence_distance=1,
+                             body_cycles=150, num_ces=8)
+        loose = run_doacross(iterations=24, dependence_distance=4,
+                             body_cycles=150, num_ces=8)
+        assert loose.cycles < tight.cycles
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_doacross(iterations=0, dependence_distance=1)
+        with pytest.raises(ValueError):
+            run_doacross(iterations=4, dependence_distance=0)

@@ -1,0 +1,95 @@
+"""Tests for the Section 4.1 kernels (fast, small windows only)."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.kernels.banded_matvec import BandedMatvec
+from repro.kernels.common import BASE_ADDRESS_STRIDE, ce_base_address
+from repro.kernels.rank_update import (
+    RANK,
+    RankUpdateVersion,
+    measure_rank_update,
+)
+from repro.kernels.tridiag_matvec import measure_tridiag
+from repro.kernels.vector_load import measure_vector_load
+
+
+class TestVectorLoad:
+    def test_small_run_reports_metrics(self):
+        run = measure_vector_load(2, blocks=4)
+        assert run.first_word_latency is not None
+        assert run.first_word_latency >= 8
+        assert run.interarrival >= 1.0
+        assert run.flops == 0.0  # pure loads
+
+    def test_contention_raises_interarrival(self):
+        lone = measure_vector_load(1, blocks=6)
+        crowd = measure_vector_load(16, blocks=6)
+        assert crowd.interarrival > lone.interarrival
+
+
+class TestTridiag:
+    def test_flop_accounting(self):
+        run = measure_tridiag(1, strips=2)
+        block = DEFAULT_CONFIG.prefetch.compiler_block_words
+        # Per strip: 2 chained streams (2 flops/elem) + register ops (2).
+        assert run.flops == pytest.approx(2 * (3 * 2.0 * block))
+
+    def test_lower_memory_demand_than_vl(self):
+        vl = measure_vector_load(16, blocks=6)
+        tm = measure_tridiag(16, strips=3)
+        assert tm.interarrival <= vl.interarrival + 0.5
+
+
+class TestRankUpdate:
+    def test_versions_ordered_no_pref_slowest(self):
+        runs = {
+            version: measure_rank_update(version, 1, strips=1)
+            for version in RankUpdateVersion
+        }
+        no_pref = runs[RankUpdateVersion.GM_NO_PREFETCH].mflops
+        pref = runs[RankUpdateVersion.GM_PREFETCH].mflops
+        assert pref > 2.0 * no_pref
+
+    def test_flops_match_rank(self):
+        run = measure_rank_update(RankUpdateVersion.GM_NO_PREFETCH, 1, strips=1)
+        strip = DEFAULT_CONFIG.vector.register_length
+        assert run.flops == pytest.approx(8 * RANK * strip * 2.0)  # 8 CEs
+
+
+class TestBandedMatvec:
+    def test_flop_count_tridiagonal(self):
+        workload = BandedMatvec(n=100, bandwidth=3)
+        # 2*bw*n minus the missing edge triangles.
+        assert workload.flops == pytest.approx(2 * 3 * 100 - 2 * 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BandedMatvec(n=0, bandwidth=3)
+        with pytest.raises(ValueError):
+            BandedMatvec(n=100, bandwidth=4)  # even
+        with pytest.raises(ValueError):
+            BandedMatvec(n=3, bandwidth=11)
+
+    def test_halo_constant_per_processor(self):
+        workload = BandedMatvec(n=4096, bandwidth=11)
+        assert workload.halo_words(1) == 0.0
+        assert workload.halo_words(16) == 2.0 * 5
+
+    def test_words_touched_scale_with_band(self):
+        narrow = BandedMatvec(n=1000, bandwidth=3)
+        wide = BandedMatvec(n=1000, bandwidth=11)
+        assert wide.words_touched > narrow.words_touched
+
+
+class TestAddressing:
+    def test_base_addresses_disjoint(self, machine):
+        ces = machine.ces(4)
+        bases = [ce_base_address(ce) for ce in ces]
+        assert len(set(bases)) == 4
+        assert all(b2 - b1 >= BASE_ADDRESS_STRIDE
+                   for b1, b2 in zip(bases, bases[1:]))
+
+    def test_regions_disjoint_within_ce(self, machine):
+        ce = machine.all_ces[0]
+        assert ce_base_address(ce, 0) != ce_base_address(ce, 1)

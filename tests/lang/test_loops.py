@@ -1,0 +1,119 @@
+"""Tests for the CEDAR FORTRAN workload IR."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.lang import (
+    Barrier,
+    DataMove,
+    Doall,
+    IOSection,
+    LoopKind,
+    Placement,
+    Program,
+    Reduction,
+    SerialSection,
+    VirtualMemoryActivity,
+    Work,
+    walk,
+)
+
+
+def work(flops=1000.0, words=500.0, **kwargs):
+    return Work(flops=flops, memory_words=words, **kwargs)
+
+
+class TestWork:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            work(flops=-1.0)
+        with pytest.raises(ValueError):
+            work(vector_fraction=1.5)
+        with pytest.raises(ValueError):
+            Work(flops=1.0, memory_words=1.0, vector_length=0)
+
+    def test_scaled(self):
+        scaled = work(flops=100.0, words=50.0).scaled(2.0)
+        assert scaled.flops == 200.0
+        assert scaled.memory_words == 100.0
+        assert scaled.vector_fraction == work().vector_fraction
+
+
+class TestDoall:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Doall(LoopKind.XDOALL, trip_count=0, body=work())
+        with pytest.raises(ValueError):
+            Doall(LoopKind.XDOALL, trip_count=8, body=work(),
+                  prefetchable_fraction=2.0)
+        with pytest.raises(ValueError):
+            Doall(LoopKind.XDOALL, trip_count=8, body=work(), instances=0)
+
+    def test_nested_flag(self):
+        flat = Doall(LoopKind.CDOALL, trip_count=8, body=work())
+        assert not flat.nested
+        nest = Doall(LoopKind.SDOALL, trip_count=4, body=[flat])
+        assert nest.nested
+
+
+class TestOtherConstructs:
+    def test_barrier_validation(self):
+        with pytest.raises(ValueError):
+            Barrier(count=0)
+
+    def test_reduction_validation(self):
+        with pytest.raises(ValueError):
+            Reduction(elements=0)
+
+    def test_io_validation(self):
+        with pytest.raises(ValueError):
+            IOSection(bytes=-1.0)
+
+    def test_move_validation(self):
+        with pytest.raises(ValueError):
+            DataMove(words=-1.0)
+
+    def test_paging_validation(self):
+        with pytest.raises(ValueError):
+            VirtualMemoryActivity(seconds=-0.1)
+
+    def test_serial_section_prefetchable_bounds(self):
+        with pytest.raises(ValueError):
+            SerialSection(work(), prefetchable_fraction=1.2)
+
+
+class TestProgram:
+    def test_empty_body_rejected(self):
+        with pytest.raises(ProgramError):
+            Program(name="empty", body=[])
+
+    def test_total_flops_structural_sum(self):
+        program = Program(
+            name="p",
+            body=[
+                Doall(LoopKind.XDOALL, trip_count=10, body=work(flops=5.0),
+                      instances=1),
+                SerialSection(work(flops=7.0)),
+            ],
+        )
+        assert program.total_flops() == pytest.approx(57.0)
+
+    def test_declared_flop_count_wins(self):
+        program = Program(
+            name="p", body=[SerialSection(work(flops=7.0))], flop_count=99.0
+        )
+        assert program.total_flops() == 99.0
+
+    def test_nested_flops_multiply_through(self):
+        inner = Doall(LoopKind.CDOALL, trip_count=8, body=work(flops=2.0))
+        outer = Doall(LoopKind.SDOALL, trip_count=4, body=[inner])
+        program = Program(name="p", body=[outer])
+        assert program.total_flops() == pytest.approx(4 * 8 * 2.0)
+
+    def test_walk_visits_nested(self):
+        inner = Doall(LoopKind.CDOALL, trip_count=8, body=work())
+        outer = Doall(LoopKind.SDOALL, trip_count=4, body=[inner])
+        visited = list(walk([outer, Barrier()]))
+        assert inner in visited
+        assert outer in visited
+        assert len(visited) == 3

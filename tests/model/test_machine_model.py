@@ -1,0 +1,199 @@
+"""Tests for the analytic Cedar machine model."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.lang import (
+    Barrier,
+    Doall,
+    IOSection,
+    LoopKind,
+    Placement,
+    Program,
+    Reduction,
+    RuntimeOptions,
+    SerialSection,
+    VirtualMemoryActivity,
+    Work,
+)
+from repro.model.machine_model import CedarMachineModel
+
+
+@pytest.fixture
+def model():
+    return CedarMachineModel()
+
+
+def parallel_program(trip=128, flops=1e6, instances=1, **doall_kwargs):
+    body = Work(flops=flops / (trip * instances),
+                memory_words=flops / (trip * instances) / 2.0)
+    return Program(
+        name="p",
+        body=[Doall(LoopKind.XDOALL, trip_count=trip, body=body,
+                    instances=instances, **doall_kwargs)],
+    )
+
+
+class TestSerialVsParallel:
+    def test_parallel_is_faster_for_big_loops(self, model):
+        program = parallel_program(flops=1e9)
+        serial = model.execute_serial(program)
+        parallel = model.execute(program)
+        assert parallel.seconds < serial.seconds
+        assert serial.seconds / parallel.seconds > 4.0
+
+    def test_tiny_loop_dominated_by_startup(self, model):
+        program = parallel_program(trip=2, flops=100.0)
+        serial = model.execute_serial(program)
+        parallel = model.execute(program)
+        assert parallel.seconds > serial.seconds  # 90us startup dwarfs work
+
+    def test_serial_section_runs_at_one_ce(self, model):
+        program = Program(
+            name="s", body=[SerialSection(Work(flops=1e6, memory_words=1e5))]
+        )
+        serial = model.execute_serial(program)
+        parallel = model.execute(program)
+        # Vectorization helps a little, parallelism not at all.
+        assert parallel.seconds > serial.seconds / 8
+
+
+class TestConstructCosts:
+    def test_instances_scale_time(self, model):
+        once = model.execute(parallel_program(instances=1, flops=1e6))
+        many = model.execute(parallel_program(instances=100, flops=1e6))
+        assert many.seconds > once.seconds  # same work, 100x loop startups
+
+    def test_barriers_add_time(self, model):
+        base = parallel_program()
+        with_barriers = Program(
+            name="b", body=list(base.body) + [Barrier(count=1000)]
+        )
+        assert model.execute(with_barriers).seconds > model.execute(base).seconds
+
+    def test_multicluster_barrier_free_in_serial(self, model):
+        program = Program(
+            name="b",
+            body=[SerialSection(Work(flops=1e5, memory_words=1e4)),
+                  Barrier(count=1000)],
+        )
+        with_b = model.execute_serial(program)
+        without = model.execute_serial(
+            Program(name="nb", body=[program.body[0]])
+        )
+        assert with_b.seconds == pytest.approx(without.seconds)
+
+    def test_paging_charged_only_multicluster(self, model):
+        program = Program(
+            name="vm",
+            body=[SerialSection(Work(flops=1e5, memory_words=1e4)),
+                  VirtualMemoryActivity(seconds=5.0)],
+        )
+        full = model.execute(program)
+        confined = model.execute(
+            program, RuntimeOptions(single_cluster=True)
+        )
+        assert full.seconds - confined.seconds == pytest.approx(5.0, abs=0.1)
+
+    def test_io_identical_serial_and_parallel(self, model):
+        program = Program(name="io", body=[IOSection(4e6, formatted=True)])
+        assert model.execute(program).seconds == pytest.approx(
+            model.execute_serial(program).seconds
+        )
+
+    def test_reduction_construct_timed(self, model):
+        program = Program(
+            name="r",
+            body=[SerialSection(Work(flops=1e4, memory_words=1e3)),
+                  Reduction(elements=32)],
+        )
+        assert model.execute(program).seconds > 0
+
+
+class TestOptions:
+    def test_no_sync_slows_self_scheduled_loops(self, model):
+        program = parallel_program(trip=32, flops=1e6, instances=1000)
+        base = model.execute(program)
+        no_sync = model.execute(program, RuntimeOptions(use_cedar_sync=False))
+        assert no_sync.seconds > base.seconds
+
+    def test_static_schedule_avoids_fetch_cost(self, model):
+        from repro.lang.runtime import Schedule
+        program = parallel_program(trip=32, flops=1e6, instances=1000)
+        dynamic = model.execute(program)
+        static = model.execute(program, RuntimeOptions(schedule=Schedule.STATIC))
+        assert static.seconds < dynamic.seconds
+
+    def test_no_prefetch_slows_global_loops(self, model):
+        program = parallel_program(
+            placement=Placement.GLOBAL, prefetchable_fraction=0.9, flops=1e8
+        )
+        base = model.execute(program)
+        slow = model.execute(program, RuntimeOptions(use_prefetch=False))
+        assert slow.seconds > base.seconds
+
+    def test_single_cluster_uses_8_processors(self, model):
+        report = model.execute(
+            parallel_program(), RuntimeOptions(single_cluster=True)
+        )
+        assert report.processors == 8
+
+
+class TestSdoallNesting:
+    def test_sdoall_cdoall_nest_executes(self, model):
+        inner = Doall(LoopKind.CDOALL, trip_count=64,
+                      body=Work(flops=1e4, memory_words=5e3))
+        program = Program(
+            name="nest",
+            body=[Doall(LoopKind.SDOALL, trip_count=4, body=[inner])],
+        )
+        report = model.execute(program)
+        assert report.seconds > 0
+
+    def test_non_cdoall_nesting_rejected(self, model):
+        inner = Doall(LoopKind.XDOALL, trip_count=64,
+                      body=Work(flops=1e4, memory_words=5e3))
+        program = Program(
+            name="bad",
+            body=[Doall(LoopKind.SDOALL, trip_count=4, body=[inner])],
+        )
+        with pytest.raises(ProgramError):
+            model.execute(program)
+
+    def test_hierarchical_cheaper_than_xdoall_for_fine_grain(self, model):
+        body = Work(flops=500.0, memory_words=250.0)
+        flat = Program(
+            name="flat",
+            body=[Doall(LoopKind.XDOALL, trip_count=256, body=body,
+                        instances=200)],
+        )
+        inner = Doall(LoopKind.CDOALL, trip_count=64, body=body)
+        nested = Program(
+            name="nested",
+            body=[Doall(LoopKind.SDOALL, trip_count=4, body=[inner],
+                        instances=200)],
+        )
+        assert model.execute(nested).seconds < model.execute(flat).seconds
+
+
+class TestReport:
+    def test_breakdown_sums_to_total(self, model):
+        program = Program(
+            name="mix",
+            body=[
+                IOSection(1e6),
+                Doall(LoopKind.XDOALL, trip_count=64,
+                      body=Work(flops=1e5, memory_words=5e4), label="loop"),
+                SerialSection(Work(flops=1e4, memory_words=1e3), label="tail"),
+            ],
+        )
+        report = model.execute(program)
+        assert sum(report.breakdown.values()) == pytest.approx(report.seconds)
+        assert {"iosection", "loop", "tail"} <= set(report.breakdown)
+
+    def test_mflops(self, model):
+        program = parallel_program(flops=1e9)
+        report = model.execute(program)
+        assert report.mflops == pytest.approx(
+            1e9 / report.seconds / 1e6, rel=1e-6
+        )

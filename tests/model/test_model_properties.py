@@ -1,0 +1,101 @@
+"""Property-based tests: invariants of the analytic machine model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import Doall, LoopKind, Placement, Program, RuntimeOptions, Work
+from repro.model.machine_model import CedarMachineModel
+
+MODEL = CedarMachineModel()
+
+
+def program(coverage_flops, trip, instances=1, placement=Placement.GLOBAL,
+            prefetchable=0.8, vector_fraction=0.9, scalar=0.1):
+    body = Work(
+        flops=coverage_flops / (trip * instances),
+        memory_words=coverage_flops / (trip * instances) / 1.5,
+        vector_fraction=vector_fraction,
+        scalar_memory_fraction=scalar,
+    )
+    return Program(
+        name="p",
+        body=[Doall(LoopKind.XDOALL, trip_count=trip, body=body,
+                    placement=placement, prefetchable_fraction=prefetchable,
+                    instances=instances)],
+    )
+
+
+class TestMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(1e5, 1e10),
+        st.integers(8, 512),
+        st.integers(1, 500),
+    )
+    def test_removing_sync_never_speeds_up(self, flops, trip, instances):
+        p = program(flops, trip, instances)
+        base = MODEL.execute(p).seconds
+        no_sync = MODEL.execute(p, RuntimeOptions(use_cedar_sync=False)).seconds
+        assert no_sync >= base - 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(1e5, 1e10),
+        st.integers(8, 512),
+        st.floats(0.1, 1.0),
+    )
+    def test_removing_prefetch_never_speeds_up(self, flops, trip, prefetchable):
+        p = program(flops, trip, prefetchable=prefetchable)
+        base = MODEL.execute(p).seconds
+        slow = MODEL.execute(p, RuntimeOptions(use_prefetch=False)).seconds
+        assert slow >= base - 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(1e6, 1e10), st.integers(32, 2048))
+    def test_more_work_takes_longer(self, flops, trip):
+        small = MODEL.execute(program(flops, trip)).seconds
+        large = MODEL.execute(program(flops * 2, trip)).seconds
+        assert large > small
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(1e6, 1e10), st.integers(32, 2048))
+    def test_serial_time_scales_linearly_with_flops(self, flops, trip):
+        one = MODEL.execute_serial(program(flops, trip)).seconds
+        two = MODEL.execute_serial(program(flops * 2, trip)).seconds
+        assert two == pytest.approx(2 * one, rel=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(1e6, 1e10))
+    def test_single_cluster_never_faster_for_wide_loops(self, flops):
+        p = program(flops, trip=256)
+        full = MODEL.execute(p).seconds
+        confined = MODEL.execute(p, RuntimeOptions(single_cluster=True)).seconds
+        assert confined >= full - 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(1e6, 1e9), st.integers(8, 256), st.integers(1, 100))
+    def test_times_are_positive_and_finite(self, flops, trip, instances):
+        import math
+        p = program(flops, trip, instances)
+        seconds = MODEL.execute(p).seconds
+        assert seconds > 0
+        assert math.isfinite(seconds)
+
+
+class TestCrossLayerConsistency:
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(1e7, 1e10), st.integers(64, 4096))
+    def test_speedup_bounded_by_processors_times_vector_gain(self, flops, trip):
+        """Parallel speedup cannot exceed P x (vector rate / scalar rate)."""
+        p = program(flops, trip)
+        serial = MODEL.execute_serial(p).seconds
+        parallel = MODEL.execute(p).seconds
+        max_gain = 32 * (2.0 / 0.2)  # P x chained-vector over scalar
+        assert serial / parallel <= max_gain + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0.0, 1.0))
+    def test_prefetchable_fraction_monotone(self, fraction):
+        fast = MODEL.execute(program(1e9, 512, prefetchable=1.0)).seconds
+        varied = MODEL.execute(program(1e9, 512, prefetchable=fraction)).seconds
+        assert varied >= fast - 1e-12

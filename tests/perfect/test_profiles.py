@@ -1,0 +1,163 @@
+"""Tests for the Perfect code profiles and version construction."""
+
+import pytest
+
+from repro.lang.loops import Doall, IOSection, SerialSection, VirtualMemoryActivity
+from repro.lang.placement import Placement
+from repro.lang.runtime import Schedule
+from repro.perfect.codes import ALL_PROFILES
+from repro.perfect.profiles import CodeProfile, HandOptimization
+from repro.perfect.suite import PERFECT_CODES, code_names, get_profile
+from repro.perfect.versions import Version, build_program, options_for
+
+
+class TestRegistry:
+    def test_thirteen_codes(self):
+        assert len(PERFECT_CODES) == 13
+        assert code_names() == sorted(
+            ["ADM", "ARC3D", "BDNA", "DYFESM", "FLO52", "MDG", "MG3D",
+             "OCEAN", "QCD", "SPEC77", "SPICE", "TRACK", "TRFD"]
+        )
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("NOPE")
+
+    def test_every_profile_has_a_hand_recipe(self):
+        for profile in ALL_PROFILES:
+            assert profile.hand is not None, profile.name
+
+
+class TestProfileValidation:
+    def _kwargs(self, **overrides):
+        base = dict(
+            name="X", description="", total_flops=1e8, flops_per_word=1.0,
+            kap_coverage=0.1, auto_coverage=0.8, trip_count=32,
+            parallel_loop_instances=100, loop_vector_fraction=0.9,
+            serial_vector_fraction=0.1, vector_length=32,
+            global_data_fraction=0.5, prefetchable_fraction=0.8,
+            scalar_memory_fraction=0.1,
+        )
+        base.update(overrides)
+        return base
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            CodeProfile(**self._kwargs(auto_coverage=1.5))
+
+    def test_kap_cannot_exceed_auto(self):
+        with pytest.raises(ValueError):
+            CodeProfile(**self._kwargs(kap_coverage=0.9, auto_coverage=0.5))
+
+    def test_positive_volumes(self):
+        with pytest.raises(ValueError):
+            CodeProfile(**self._kwargs(total_flops=0.0))
+
+    def test_monitor_flops(self):
+        profile = CodeProfile(**self._kwargs(monitor_flop_fraction=0.5))
+        assert profile.monitor_flops == pytest.approx(5e7)
+
+
+class TestHandOptimization:
+    def test_no_hand_recipe_raises(self):
+        profile = CodeProfile(
+            name="X", description="", total_flops=1e8, flops_per_word=1.0,
+            kap_coverage=0.1, auto_coverage=0.8, trip_count=32,
+            parallel_loop_instances=100, loop_vector_fraction=0.9,
+            serial_vector_fraction=0.1, vector_length=32,
+            global_data_fraction=0.5, prefetchable_fraction=0.8,
+            scalar_memory_fraction=0.1,
+        )
+        with pytest.raises(ValueError):
+            profile.with_hand_optimization()
+
+    def test_bdna_hand_drops_formatted_io(self):
+        hand = get_profile("BDNA").with_hand_optimization()
+        assert not hand.io_formatted
+
+    def test_arc3d_hand_removes_computation(self):
+        base = get_profile("ARC3D")
+        hand = base.with_hand_optimization()
+        assert hand.total_flops < base.total_flops
+
+    def test_trfd_hand_fixes_paging(self):
+        base = get_profile("TRFD")
+        assert base.paging_seconds > 0
+        assert base.with_hand_optimization().paging_seconds == 0
+
+    def test_qcd_hand_parallelizes_the_rng(self):
+        base = get_profile("QCD")
+        hand = base.with_hand_optimization()
+        assert hand.auto_coverage > 0.95
+
+    def test_flo52_hand_collapses_barriers(self):
+        base = get_profile("FLO52")
+        hand = base.with_hand_optimization()
+        assert hand.multicluster_barriers < base.multicluster_barriers / 2
+
+    def test_spice_hand_shrinks_serial_work(self):
+        base = get_profile("SPICE")
+        hand = base.with_hand_optimization()
+        assert hand.total_flops < base.total_flops
+
+
+class TestProgramConstruction:
+    def test_automatable_program_structure(self):
+        program = build_program(get_profile("ADM"), Version.AUTOMATABLE)
+        kinds = [type(c).__name__ for c in program.body]
+        assert "Doall" in kinds
+        assert "SerialSection" in kinds
+
+    def test_bdna_has_io_section(self):
+        program = build_program(get_profile("BDNA"), Version.AUTOMATABLE)
+        io = [c for c in program.body if isinstance(c, IOSection)]
+        assert io and io[0].formatted
+
+    def test_trfd_has_paging_section(self):
+        program = build_program(get_profile("TRFD"), Version.AUTOMATABLE)
+        assert any(isinstance(c, VirtualMemoryActivity) for c in program.body)
+
+    def test_kap_keeps_data_global(self):
+        program = build_program(get_profile("MDG"), Version.KAP)
+        loops = [c for c in program.body if isinstance(c, Doall)]
+        global_loops = [l for l in loops if l.placement is Placement.GLOBAL]
+        assert global_loops
+
+    def test_loop_flops_sum_to_coverage(self):
+        profile = get_profile("ADM")
+        program = build_program(profile, Version.AUTOMATABLE)
+        loop_flops = sum(
+            c.instances * c.trip_count * c.body.flops
+            for c in program.body
+            if isinstance(c, Doall)
+        )
+        assert loop_flops == pytest.approx(
+            profile.auto_coverage * profile.total_flops, rel=0.01
+        )
+
+    def test_dyfesm_hand_uses_hierarchy(self):
+        program = build_program(get_profile("DYFESM"), Version.HAND)
+        nested = [c for c in program.body
+                  if isinstance(c, Doall) and c.nested]
+        assert nested
+
+
+class TestOptions:
+    def test_version_option_ladder(self):
+        profile = get_profile("ADM")
+        auto = options_for(Version.AUTOMATABLE, profile)
+        assert auto.use_cedar_sync and auto.use_prefetch
+        nosync = options_for(Version.AUTOMATABLE_NO_SYNC, profile)
+        assert not nosync.use_cedar_sync and nosync.use_prefetch
+        nopref = options_for(Version.AUTOMATABLE_NO_PREFETCH, profile)
+        assert not nopref.use_cedar_sync and not nopref.use_prefetch
+
+    def test_hand_options_static_without_sync(self):
+        options = options_for(Version.HAND, get_profile("TRFD"))
+        assert options.schedule is Schedule.STATIC
+        assert not options.use_cedar_sync
+        assert options.use_prefetch
+
+    def test_kap_single_cluster_flag(self):
+        options = options_for(Version.KAP, get_profile("DYFESM"))
+        assert options.single_cluster

@@ -1,0 +1,102 @@
+"""Tests for the Xylem file system, memory manager, and kernel facade."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.errors import SimulationError
+from repro.lang.placement import Placement
+from repro.xylem import FileSystem, IORequest, MemoryManager, XylemKernel
+
+
+class TestFileSystem:
+    def test_formatted_is_much_slower(self):
+        fs = FileSystem()
+        fast = fs.seconds_for(1e7, formatted=False)
+        slow = fs.seconds_for(1e7, formatted=True)
+        assert slow / fast > 10.0
+
+    def test_bdna_style_savings(self):
+        fs = FileSystem()
+        savings = fs.reformat_savings(11.5e6)
+        # The hand BDNA saved ~50s by unformatting its trajectory output.
+        assert savings == pytest.approx(49.0, rel=0.1)
+
+    def test_transfer_accounting(self):
+        fs = FileSystem()
+        fs.transfer(IORequest(1e6))
+        fs.transfer(IORequest(2e6, formatted=True))
+        assert fs.total_bytes == pytest.approx(3e6)
+        assert len(fs.requests) == 2
+        assert fs.total_seconds > 0
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            IORequest(-1.0)
+
+    def test_model_layer_shares_constants(self):
+        from repro.model.costs import FORMATTED_IO_PENALTY, IO_BYTES_PER_SECOND
+        from repro.xylem.filesystem import (
+            FORMATTED_PENALTY,
+            UNFORMATTED_BYTES_PER_SECOND,
+        )
+        assert FORMATTED_IO_PENALTY == FORMATTED_PENALTY
+        assert IO_BYTES_PER_SECOND == UNFORMATTED_BYTES_PER_SECOND
+
+
+class TestMemoryManager:
+    def test_global_segments_in_upper_half(self):
+        manager = MemoryManager()
+        cluster_seg = manager.allocate("local", 1000, Placement.CLUSTER)
+        global_seg = manager.allocate("shared", 1000, Placement.GLOBAL)
+        assert not manager.is_global_address(cluster_seg.start_word)
+        assert manager.is_global_address(global_seg.start_word)
+
+    def test_duplicate_name_rejected(self):
+        manager = MemoryManager()
+        manager.allocate("a", 10)
+        with pytest.raises(SimulationError):
+            manager.allocate("a", 10)
+
+    def test_touch_unknown_segment(self):
+        manager = MemoryManager()
+        with pytest.raises(SimulationError):
+            manager.touch(0, "ghost")
+
+    def test_trfd_fault_ratio_is_cluster_count(self):
+        manager = MemoryManager()
+        page_words = manager.vm.page_words
+        manager.allocate("arrays", 50 * page_words, Placement.GLOBAL)
+        ratio = manager.multicluster_fault_ratio("arrays")
+        # "almost four times the number of page faults relative to the
+        # one-cluster version".
+        assert ratio == pytest.approx(DEFAULT_CONFIG.num_clusters, rel=0.05)
+
+    def test_fault_seconds_accumulate(self):
+        manager = MemoryManager()
+        manager.allocate("seg", 10 * manager.vm.page_words)
+        manager.touch(0, "seg")
+        assert manager.fault_seconds(0) > 0
+        assert manager.fault_seconds(1) == 0
+
+
+class TestKernelFacade:
+    def test_job_accounting(self):
+        kernel = XylemKernel()
+        kernel.memory.allocate(
+            "arrays", 20 * kernel.memory.vm.page_words, Placement.GLOBAL
+        )
+        report = kernel.run_job(
+            "trfd",
+            compute_seconds=10.0,
+            clusters=4,
+            io_requests=[IORequest(1e6)],
+            touched_segments=["arrays"],
+        )
+        assert report.task.state.value == "complete"
+        assert report.io_seconds > 0
+        assert report.vm_seconds > 0
+        assert report.total_seconds > 10.0
+
+    def test_single_user_default(self):
+        kernel = XylemKernel()
+        assert kernel.scheduler.single_user
