@@ -5,15 +5,29 @@ Usage::
     cedar-repro list                 # what can be regenerated
     cedar-repro run table1           # one artifact
     cedar-repro run all              # everything (slow: cycle simulations)
+    cedar-repro run table2 --json    # machine-readable result
+    cedar-repro trace table2 --out trace.json --report
+                                     # same artifact, plus machine-wide
+                                     # instrumentation (Chrome trace JSON
+                                     # and a utilization report)
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import difflib
+import enum
+import json
 import sys
 from typing import List, Optional
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    run_experiment,
+    run_experiment_traced,
+)
+from repro.trace import Tracer, utilization_report, write_chrome_trace
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -28,7 +42,116 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list regenerable tables/figures")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", help="experiment key from 'list', or 'all'")
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON results (for benchmarking scripts)",
+    )
+    trace = sub.add_parser(
+        "trace", help="run one experiment with machine-wide instrumentation"
+    )
+    trace.add_argument("experiment", help="experiment key from 'list'")
+    trace.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write Chrome trace-event JSON (chrome://tracing, Perfetto)",
+    )
+    trace.add_argument(
+        "--report",
+        action="store_true",
+        help="print the per-component utilization report",
+    )
     return parser
+
+
+def _unknown_experiment(key: str) -> int:
+    """Error message with near-miss suggestions; returns the exit status."""
+    message = f"unknown experiment {key!r}"
+    matches = difflib.get_close_matches(key, sorted(EXPERIMENTS), n=3, cutoff=0.4)
+    if matches:
+        message += "; did you mean: " + ", ".join(matches) + "?"
+    else:
+        message += "; try 'cedar-repro list'"
+    print(message, file=sys.stderr)
+    return 2
+
+
+def _json_key(key: object) -> str:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, (tuple, list)):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def _jsonable(value: object) -> object:
+    """Best-effort conversion of experiment results to JSON-safe data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return _jsonable(value.value)
+    if isinstance(value, dict):
+        return {_json_key(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    keys = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for key in keys:
+        if key not in EXPERIMENTS:
+            return _unknown_experiment(key)
+    if not args.json:
+        for key in keys:
+            print(run_experiment(key))
+            print()
+        return 0
+    results = []
+    for key in keys:
+        experiment = EXPERIMENTS[key]
+        result = experiment.run()
+        results.append(
+            {
+                "experiment": key,
+                "description": experiment.description,
+                "result": _jsonable(result),
+                "rendered": experiment.render(result),
+            }
+        )
+    print(json.dumps(results, indent=2))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.experiment not in EXPERIMENTS:
+        return _unknown_experiment(args.experiment)
+    if args.out:
+        # Fail on an unwritable path now, not after a minutes-long run.
+        try:
+            open(args.out, "w", encoding="utf-8").close()
+        except OSError as error:
+            print(f"cannot write {args.out}: {error}", file=sys.stderr)
+            return 2
+    tracer = Tracer(enabled=True)
+    print(run_experiment_traced(args.experiment, tracer))
+    print()
+    if args.out:
+        write_chrome_trace(tracer, args.out)
+        print(
+            f"wrote {tracer.num_records} trace records"
+            f" ({tracer.dropped} dropped) to {args.out}",
+            file=sys.stderr,
+        )
+    if args.report or not args.out:
+        print(utilization_report(tracer))
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -38,17 +161,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{key:18s} {EXPERIMENTS[key].description}")
         return 0
     if args.command == "run":
-        keys = (
-            sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-        )
-        for key in keys:
-            if key not in EXPERIMENTS:
-                print(f"unknown experiment {key!r}; try 'cedar-repro list'",
-                      file=sys.stderr)
-                return 2
-            print(run_experiment(key))
-            print()
-        return 0
+        return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return 2
 
 

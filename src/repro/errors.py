@@ -25,3 +25,7 @@ class CompilerError(CedarError):
 
 class MonitorError(CedarError):
     """Performance-monitoring hardware was misused (capacity, bad signal)."""
+
+
+class TraceError(CedarError):
+    """The instrumentation/trace bus was misused (unbalanced spans, no clock)."""

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict
 
+from repro.trace import Tracer, tracing
+
 from repro.experiments import (
     figure3,
     network_ablation,
@@ -115,3 +117,14 @@ def run_experiment(key: str) -> str:
     """Run and render one experiment."""
     experiment = get_experiment(key)
     return experiment.render(experiment.run())
+
+
+def run_experiment_traced(key: str, tracer: Tracer) -> str:
+    """Run and render one experiment with ``tracer`` as the ambient bus.
+
+    Every machine (cycle-level or analytic) the experiment driver builds
+    attaches to ``tracer``; the rendered artifact is byte-identical to an
+    untraced :func:`run_experiment` because tracing only observes.
+    """
+    with tracing(tracer):
+        return run_experiment(key)

@@ -62,11 +62,18 @@ class ClusterCache:
         config: CacheConfig,
         memory_config: ClusterMemoryConfig,
         name: str = "cache",
+        tracer=None,
     ) -> None:
         self.engine = engine
         self.config = config
         self.memory_config = memory_config
         self.name = name
+        self.trace = tracer.if_enabled() if tracer is not None else None
+        # Counters group under "cache" with the cluster as the subunit, so
+        # "cl2.cache" reports as component "cache.cl2".
+        self._trace_component = (
+            f"cache.{name.split('.', 1)[0]}" if "." in name else "cache"
+        )
         self._lines: "OrderedDict[int, bool]" = OrderedDict()  # line -> dirty
         self.num_lines = config.size_bytes // config.line_bytes
         self.words_per_line = config.line_bytes // WORD_BYTES
@@ -91,6 +98,8 @@ class ClusterCache:
             _, victim_dirty = self._lines.popitem(last=False)
             if victim_dirty:
                 self.write_backs += 1
+                if self.trace is not None:
+                    self.trace.count(self._trace_component, "write_backs")
                 # Write-back consumes memory-bus bandwidth but never stalls
                 # the requester (write-back cache, non-blocking writes).
                 self.memory_port.reserve(self.words_per_line)
@@ -114,6 +123,8 @@ class ClusterCache:
                 max(self.port.reserve(1), fill_done)
                 + self.memory_config.miss_latency_cycles
             )
+        if self.trace is not None:
+            self._trace_access(hit, 1)
         self._touch(line, dirty=write)
         return hit, finish
 
@@ -128,10 +139,25 @@ class ClusterCache:
             raise ValueError(f"stream length must be >= 0, got {length}")
         if resident:
             self.hits += length
+            if self.trace is not None:
+                self._trace_access(True, length)
             return self.port.reserve(length) + self.config.hit_latency_cycles
         self.misses += max(1, length // self.words_per_line)
+        if self.trace is not None:
+            self._trace_access(False, max(1, length // self.words_per_line))
         fill = self.memory_port.reserve(length)
         return max(fill, self.port.reserve(length)) + self.memory_config.miss_latency_cycles
+
+    def _trace_access(self, hit: bool, count: int) -> None:
+        """Count a hit/miss and sparsely sample the hit-rate timeline."""
+        assert self.trace is not None
+        self.trace.count(self._trace_component, "hits" if hit else "misses", count)
+        accesses = self.hits + self.misses
+        if accesses % 256 < count:
+            self.trace.sample(
+                self._trace_component, "hit_rate_percent",
+                round(100.0 * self.hits / accesses, 2), self.engine.now,
+            )
 
     def install_block(self, start_address: int, length: int, dirty: bool = False) -> None:
         """Mark a block resident (used after an explicit global->cluster move)."""

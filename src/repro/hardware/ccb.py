@@ -49,11 +49,16 @@ class ConcurrencyControlBus:
         self,
         config: ConcurrencyBusConfig,
         ces: List[ComputationalElement],
+        tracer=None,
+        name: str = "ccb",
     ) -> None:
         if not ces:
             raise SimulationError("a concurrency control bus needs CEs")
         self.config = config
         self.ces = ces
+        self.engine = ces[0].engine
+        self.name = name
+        self.trace = tracer.if_enabled() if tracer is not None else None
         self.loops_started = 0
 
     def concurrent_start(
@@ -76,11 +81,23 @@ class ConcurrencyControlBus:
         self.loops_started += 1
         counter = IterationCounter(num_iterations)
         remaining = {"ces": len(self.ces)}
+        trace = self.trace
+        start_cycle = self.engine.now
+        if trace is not None:
+            trace.count(self.name, "concurrent_starts")
 
         def ce_finished() -> None:
             remaining["ces"] -= 1
-            if remaining["ces"] == 0 and on_done is not None:
-                on_done()
+            if remaining["ces"] == 0:
+                if trace is not None:
+                    trace.complete(
+                        self.name,
+                        f"cdoall[{num_iterations} iters x {len(self.ces)} ces]",
+                        start_cycle, self.engine.now,
+                        static=static,
+                    )
+                if on_done is not None:
+                    on_done()
 
         for position, ce in enumerate(self.ces):
             kernel = self._make_worker(position, counter, body, static)
@@ -95,6 +112,8 @@ class ConcurrencyControlBus:
     ):
         config = self.config
         num_ces = len(self.ces)
+        trace = self.trace
+        name = self.name
 
         def worker(ce: ComputationalElement) -> KernelCoroutine:
             # Concurrent-start broadcast: program counter + private stacks.
@@ -109,6 +128,8 @@ class ConcurrencyControlBus:
                     iteration = counter.claim()
                     if iteration is None:
                         break
+                    if trace is not None:
+                        trace.count(name, "iterations_acquired")
                     yield Compute(config.self_schedule_cycles)
                     yield from body(ce, iteration)
             yield Compute(config.join_cycles)

@@ -196,6 +196,7 @@ class ComputationalElement:
         monitor=None,
         cluster_index: int = 0,
         index_in_cluster: int = 0,
+        tracer=None,
     ) -> None:
         self.engine = engine
         self.config = config
@@ -204,6 +205,8 @@ class ComputationalElement:
         self.index_in_cluster = index_in_cluster
         self.cache = cache
         self.monitor = monitor
+        self.tracer = tracer
+        self.trace = tracer.if_enabled() if tracer is not None else None
         self.vector_unit = VectorUnit(config.vector)
         self.port = NetworkPort(engine, global_port, forward, reverse)
         self.pfu = PrefetchUnit(
@@ -214,6 +217,7 @@ class ComputationalElement:
             new_tag=self.port.new_tag,
             port=global_port,
             memory_port_of=memory_port_of,
+            tracer=tracer,
         )
         self.flops = 0.0
         self.busy_until = 0
@@ -434,6 +438,18 @@ class ComputationalElement:
         send()
 
     def _do_post(self, op: PostEvent) -> None:
-        if self.monitor is not None:
+        # Software events travel the trace bus when one is cabled up (the
+        # monitor's software tracer subscribes to them there); a monitor
+        # without a bus is fed directly, as before.
+        if self.tracer is not None:
+            self.tracer.publish(
+                "software.event", (self.engine.now, op.signal, op.value)
+            )
+            if self.trace is not None:
+                self.trace.instant(
+                    f"ce{self.global_port:02d}", op.signal,
+                    cycle=self.engine.now, value=op.value,
+                )
+        elif self.monitor is not None:
             self.monitor.tracer("software").post(self.engine.now, op.signal, op.value)
         self.engine.schedule(0, lambda: self._advance(None))

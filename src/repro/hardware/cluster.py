@@ -23,12 +23,14 @@ class Cluster:
         forward: OmegaNetwork,
         reverse: OmegaNetwork,
         monitor=None,
+        tracer=None,
     ) -> None:
         self.engine = engine
         self.config = config
         self.index = index
         self.cache = ClusterCache(
-            engine, config.cache, config.cluster_memory, name=f"cl{index}.cache"
+            engine, config.cache, config.cluster_memory, name=f"cl{index}.cache",
+            tracer=tracer,
         )
         self.ces: List[ComputationalElement] = [
             ComputationalElement(
@@ -42,10 +44,13 @@ class Cluster:
                 monitor=monitor,
                 cluster_index=index,
                 index_in_cluster=ce,
+                tracer=tracer,
             )
             for ce in range(config.ces_per_cluster)
         ]
-        self.ccb = ConcurrencyControlBus(config.ccb, self.ces)
+        self.ccb = ConcurrencyControlBus(
+            config.ccb, self.ces, tracer=tracer, name=f"ccb.cl{index}"
+        )
 
     def cdoall(
         self,

@@ -80,6 +80,9 @@ class _OutputArbiter:
                 return index
             # Head routed here but downstream is full: wait for space.  The
             # space waiter re-wakes this arbiter, which re-scans fairly.
+            trace = self.switch.trace
+            if trace is not None:
+                trace.count(self.switch.name or "crossbar", "port_conflicts")
             self._sink.wait_for_space(self.wake)
             return None
         return None
@@ -94,6 +97,11 @@ class _OutputArbiter:
             self._sink.push(packet)
             self._in_flight = None
             self._busy = False
+            trace = self.switch.trace
+            if trace is not None:
+                name = self.switch.name or "crossbar"
+                trace.count(name, "packets_forwarded")
+                trace.count(name, "words_forwarded", packet.words)
             self.wake()
         else:
             self._sink.wait_for_space(self._finish)
@@ -110,6 +118,7 @@ class CrossbarSwitch:
         queue_words: int,
         cycles_per_word: int = 1,
         name: str = "",
+        tracer=None,
     ) -> None:
         if radix < 2:
             raise ValueError(f"crossbar radix must be >= 2, got {radix}")
@@ -117,6 +126,9 @@ class CrossbarSwitch:
         self.radix = radix
         self.route = route
         self.name = name
+        #: Enabled trace bus or None; a single None-check per event keeps the
+        #: disabled path free (this is the hottest component in the machine).
+        self.trace = tracer.if_enabled() if tracer is not None else None
         self.input_queues: List[BoundedWordQueue] = [
             BoundedWordQueue(queue_words, name=f"{name}.in[{i}]")
             for i in range(radix)

@@ -24,6 +24,10 @@ class Engine:
         self._sequence = itertools.count()
         self._now = 0
         self._running = False
+        #: Optional enabled :class:`repro.trace.Tracer`; set by the machine.
+        #: Dispatch totals are counted per run() so the per-event cost of
+        #: instrumentation is zero.
+        self.tracer = None
 
     @property
     def now(self) -> int:
@@ -65,20 +69,24 @@ class Engine:
                 if until is not None and time > until:
                     self._now = until
                     break
+                if dispatched >= max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events at cycle {self._now}; "
+                        f"simulation is runaway"
+                    )
                 heapq.heappop(self._queue)
                 self._now = time
                 callback()
                 dispatched += 1
-                if dispatched > max_events:
-                    raise SimulationError(
-                        f"exceeded {max_events} events; simulation is runaway"
-                    )
             else:
                 if until is not None and until > self._now:
                     self._now = until
             return self._now
         finally:
             self._running = False
+            if self.tracer is not None:
+                self.tracer.count("engine", "events_dispatched", dispatched)
+                self.tracer.count("engine", "runs")
 
     def run_until_idle(self) -> int:
         """Run until no events remain; returns the final time."""

@@ -22,6 +22,7 @@ from repro.hardware.network import OmegaNetwork
 from repro.hardware.packet import Packet
 from repro.hardware.sync_processor import OperateOp, SyncProcessor, TestOp
 from repro.hardware.vm import VirtualMemory
+from repro.trace import Tracer, current_tracer
 
 
 def _default_sync_handler(packet: Packet, sync: SyncProcessor) -> object:
@@ -43,13 +44,33 @@ def _default_sync_handler(packet: Packet, sync: SyncProcessor) -> object:
 class CedarMachine:
     """The full system of Figure 1."""
 
-    def __init__(self, config: CedarConfig = DEFAULT_CONFIG) -> None:
+    def __init__(
+        self,
+        config: CedarConfig = DEFAULT_CONFIG,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.config = config
         self.engine = Engine()
+        # Instrumentation bus: an explicit tracer wins, else the ambient one
+        # installed by `tracing()` (how `cedar-repro trace` reaches machines
+        # built deep inside experiment drivers), else a disabled local bus so
+        # the monitor's signal cabling below is unconditional.
+        if tracer is None:
+            tracer = current_tracer()
+        if tracer is None:
+            tracer = Tracer(enabled=False)
+        self.tracer = tracer
+        tracer.set_clock(lambda: self.engine.now)
+        self.engine.tracer = tracer.if_enabled()
         self.monitor = PerformanceMonitor(config.monitor)
+        self.monitor.connect(tracer)
         ports = max(config.num_ces, config.global_memory.num_modules)
-        self.forward = OmegaNetwork(self.engine, ports, config.network, name="fwd")
-        self.reverse = OmegaNetwork(self.engine, ports, config.network, name="rev")
+        self.forward = OmegaNetwork(
+            self.engine, ports, config.network, name="fwd", tracer=tracer
+        )
+        self.reverse = OmegaNetwork(
+            self.engine, ports, config.network, name="rev", tracer=tracer
+        )
         self.global_memory = GlobalMemory(
             engine=self.engine,
             config=config.global_memory,
@@ -57,6 +78,7 @@ class CedarMachine:
             forward=self.forward,
             reverse=self.reverse,
             sync_handler=_default_sync_handler,
+            tracer=tracer,
         )
         self.clusters: List[Cluster] = [
             Cluster(
@@ -66,6 +88,7 @@ class CedarMachine:
                 forward=self.forward,
                 reverse=self.reverse,
                 monitor=self.monitor,
+                tracer=tracer,
             )
             for i in range(config.num_clusters)
         ]
@@ -105,9 +128,16 @@ class CedarMachine:
             done["remaining"] -= 1
             done["at"] = self.engine.now
 
-        for ce in selected:
-            ce.run(kernel, on_done=one_done)
-        self.engine.run(until=until)
+        trace = self.tracer.if_enabled()
+        if trace is not None:
+            trace.begin("machine", f"run_kernel[{len(selected)} ces]")
+        try:
+            for ce in selected:
+                ce.run(kernel, on_done=one_done)
+            self.engine.run(until=until)
+        finally:
+            if trace is not None:
+                trace.end("machine")
         if done["remaining"] != 0:
             raise SimulationError(
                 f"{done['remaining']} CEs never finished (deadlock or until= too small)"
@@ -127,9 +157,16 @@ class CedarMachine:
             done["remaining"] -= 1
             done["at"] = self.engine.now
 
-        for ce, kernel in zip(selected, kernels):
-            ce.run(kernel, on_done=one_done)
-        self.engine.run(until=until)
+        trace = self.tracer.if_enabled()
+        if trace is not None:
+            trace.begin("machine", f"run_per_ce[{len(selected)} ces]")
+        try:
+            for ce, kernel in zip(selected, kernels):
+                ce.run(kernel, on_done=one_done)
+            self.engine.run(until=until)
+        finally:
+            if trace is not None:
+                trace.end("machine")
         if done["remaining"] != 0:
             raise SimulationError("not all CEs finished")
         return done["at"]

@@ -38,6 +38,7 @@ class MemoryModule:
         forward_queue: BoundedWordQueue,
         reverse: OmegaNetwork,
         sync_handler: Optional[Callable[[Packet, SyncProcessor], object]] = None,
+        tracer=None,
     ) -> None:
         self.engine = engine
         self.index = index
@@ -45,7 +46,9 @@ class MemoryModule:
         self.sync_config = sync_config
         self.forward_queue = forward_queue
         self.reverse = reverse
-        self.sync = SyncProcessor()
+        self.trace = tracer.if_enabled() if tracer is not None else None
+        self._trace_component = f"memory.m{index:02d}"
+        self.sync = SyncProcessor(tracer=tracer)
         self._sync_handler = sync_handler
         self._busy = False
         self._pending_reply: Optional[Packet] = None
@@ -62,6 +65,14 @@ class MemoryModule:
         request = self.forward_queue.pop()
         service = self._service_cycles(request)
         self.busy_cycles += service
+        if self.trace is not None:
+            now = self.engine.now
+            self.trace.complete(
+                self._trace_component, request.kind.name.lower(),
+                now, now + service, address=request.address,
+            )
+            self.trace.count(self._trace_component, "requests_served")
+            self.trace.count(self._trace_component, "busy_cycles", service)
         self.engine.schedule(service, lambda: self._complete(request))
 
     def _service_cycles(self, request: Packet) -> int:
@@ -126,6 +137,7 @@ class GlobalMemory:
         forward: OmegaNetwork,
         reverse: OmegaNetwork,
         sync_handler: Optional[Callable[[Packet, SyncProcessor], object]] = None,
+        tracer=None,
     ) -> None:
         self.config = config
         self.modules = [
@@ -137,6 +149,7 @@ class GlobalMemory:
                 forward_queue=forward.delivery_queue(i),
                 reverse=reverse,
                 sync_handler=sync_handler,
+                tracer=tracer,
             )
             for i in range(config.num_modules)
         ]

@@ -50,6 +50,15 @@ class EventTracer:
     def armed(self) -> bool:
         return self._armed
 
+    @property
+    def full(self) -> bool:
+        """True when the capture buffer is at capacity (posts will drop).
+
+        Distinguishes "stopped" (not armed, drops silently by design) from
+        "full" (armed but out of capacity; cascade more tracers).
+        """
+        return len(self._events) >= self.capacity
+
     def post(self, cycle: int, signal: str, value: int = 0) -> None:
         """Capture an event (hardware signal or software-posted)."""
         if not self._armed:
@@ -128,12 +137,48 @@ class Histogrammer:
 
 
 class PerformanceMonitor:
-    """The workstation-side collection of tracers and histogrammers."""
+    """The workstation-side collection of tracers and histogrammers.
+
+    When connected to the machine's trace bus (:meth:`connect`), the monitor
+    is a *consumer* of bus signals, exactly as the real hardware monitors
+    were cabled to machine signals: ``prefetch.first_word_latency`` and
+    ``prefetch.interarrival`` feed the Table 2 histogrammers, and
+    ``software.event`` feeds the software event tracer.  Standalone (no bus)
+    operation still works for unit use.
+    """
+
+    #: Bus signals the monitor's instruments subscribe to.
+    FIRST_WORD_SIGNAL = "prefetch.first_word_latency"
+    INTERARRIVAL_SIGNAL = "prefetch.interarrival"
+    SOFTWARE_SIGNAL = "software.event"
 
     def __init__(self, config: MonitorConfig) -> None:
         self.config = config
         self._tracers: Dict[str, EventTracer] = {}
         self._histograms: Dict[str, Histogrammer] = {}
+        self._bus = None
+
+    def connect(self, bus) -> None:
+        """Cable this monitor's instruments onto a trace-bus's signals.
+
+        Args:
+            bus: A :class:`repro.trace.Tracer`; its publish/subscribe side
+                always delivers, so the Table 2 measurements are identical
+                whether or not timeline recording is enabled.
+        """
+        self._bus = bus
+        bus.subscribe(
+            self.FIRST_WORD_SIGNAL,
+            lambda value: self.histogram("first_word_latency").record(value),
+        )
+        bus.subscribe(
+            self.INTERARRIVAL_SIGNAL,
+            lambda value: self.histogram("interarrival").record(value),
+        )
+        bus.subscribe(
+            self.SOFTWARE_SIGNAL,
+            lambda event: self.tracer("software").post(*event),
+        )
 
     def tracer(self, name: str, cascade: int = 1) -> EventTracer:
         """Get or create a named event tracer."""
@@ -158,16 +203,43 @@ class PerformanceMonitor:
     def record_prefetch(self, handle) -> None:
         """File one completed prefetch's Table 2 metrics.
 
+        When a bus is connected the measurements travel as signals (which the
+        monitor's own subscriptions turn back into histogram records, and
+        which any other bus consumer can also observe); standalone monitors
+        record directly.
+
         Args:
             handle: A completed :class:`repro.hardware.prefetch.PrefetchHandle`.
         """
+        if self._bus is not None:
+            self._bus.publish(self.FIRST_WORD_SIGNAL, handle.first_word_latency())
+            for gap in handle.interarrival_times():
+                self._bus.publish(self.INTERARRIVAL_SIGNAL, gap)
+            return
         self.histogram("first_word_latency").record(handle.first_word_latency())
         interarrival = self.histogram("interarrival")
         for gap in handle.interarrival_times():
             interarrival.record(gap)
 
     def latency_summary(self) -> Tuple[float, float]:
-        """(mean first-word latency, mean interarrival) in cycles."""
+        """(mean first-word latency, mean interarrival) in cycles.
+
+        Raises:
+            MonitorError: Naming the histogram(s) with no samples, instead of
+                the bare "histogram is empty" the instruments themselves give.
+        """
+        missing = [
+            name
+            for name in ("first_word_latency", "interarrival")
+            if self.histogram(name).total == 0
+        ]
+        if missing:
+            raise MonitorError(
+                "latency_summary() needs samples in histogram(s) "
+                + ", ".join(repr(name) for name in missing)
+                + "; record at least one completed prefetch "
+                "(record_prefetch) of length >= 2 first"
+            )
         return (
             self.histogram("first_word_latency").mean(),
             self.histogram("interarrival").mean(),

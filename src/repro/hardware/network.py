@@ -47,12 +47,16 @@ class OmegaNetwork:
         num_ports: int,
         config: NetworkConfig,
         name: str = "net",
+        tracer=None,
     ) -> None:
         if num_ports < 2:
             raise ConfigurationError(f"network needs >= 2 ports, got {num_ports}")
         self.engine = engine
         self.config = config
         self.name = name
+        self._tracer = tracer
+        self.trace = tracer.if_enabled() if tracer is not None else None
+        self._injections = 0
         self.radix = config.switch_radix
         self.num_stages = 1
         lines = self.radix
@@ -84,6 +88,7 @@ class OmegaNetwork:
                     queue_words=queue_words,
                     cycles_per_word=self.config.stage_latency_cycles,
                     name=f"{self.name}.s{stage}.x{sw}",
+                    tracer=self._tracer,
                 )
                 for sw in range(switches_per_stage)
             ]
@@ -160,6 +165,8 @@ class OmegaNetwork:
         def drain() -> None:
             while queue.head() is not None:
                 packet = queue.pop()
+                if self.trace is not None:
+                    self.trace.count(self.name, "packets_delivered")
                 self.engine.schedule(0, lambda p=packet: handler(p))
 
         queue.add_item_listener(drain)
@@ -173,8 +180,21 @@ class OmegaNetwork:
         """Offer a packet at a source port; False when the entry queue is full."""
         queue = self.entry_queue(port)
         if not queue.can_accept(packet):
+            if self.trace is not None:
+                self.trace.count(self.name, "injection_rejections")
             return False
         queue.push(packet)
+        if self.trace is not None:
+            self.trace.count(self.name, "packets_injected")
+            self.trace.count(self.name, "words_injected", packet.words)
+            # Sample the buffered-word gauge sparsely: a full occupancy scan
+            # per injection would dominate the traced run.
+            self._injections += 1
+            if self._injections % 64 == 1:
+                self.trace.sample(
+                    self.name, "occupancy_words",
+                    self.occupancy_words(), self.engine.now,
+                )
         return True
 
     def on_entry_space(self, port: int, waiter: Callable[[], None]) -> None:

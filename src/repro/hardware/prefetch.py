@@ -101,6 +101,7 @@ class PrefetchUnit:
         new_tag: Callable[[Callable[[Packet], None]], int],
         port: int,
         memory_port_of: Callable[[int], int],
+        tracer=None,
     ) -> None:
         """
         Args:
@@ -120,6 +121,8 @@ class PrefetchUnit:
         self._new_tag = new_tag
         self.port = port
         self._memory_port_of = memory_port_of
+        self.trace = tracer.if_enabled() if tracer is not None else None
+        self._trace_component = f"prefetch.ce{port:02d}"
         self._armed: Optional[Dict[str, int]] = None
         self._active: Optional[PrefetchHandle] = None
         self._next_index = 0
@@ -185,6 +188,8 @@ class PrefetchUnit:
         address = handle.address_of(index)
         if index > 0 and self._crosses_page(handle.address_of(index - 1), address):
             self.page_suspensions += 1
+            if self.trace is not None:
+                self.trace.count(self._trace_component, "page_suspensions")
             self.engine.schedule(PAGE_RESUME_CYCLES, lambda: self._issue_word(index))
             return
         self._issue_word(index)
@@ -207,6 +212,8 @@ class PrefetchUnit:
             handle.issue_cycles[index] = self.engine.now
             self._next_index = index + 1
             self._outstanding += 1
+            if self.trace is not None:
+                self.trace.count(self._trace_component, "requests_issued")
             self.engine.schedule(self.config.issue_interval_cycles, self._issue_next)
         else:
             stall_start = self.engine.now
@@ -215,7 +222,10 @@ class PrefetchUnit:
             )
 
     def _retry_issue(self, index: int, stall_start: int) -> None:
-        self.network_stall_cycles += self.engine.now - stall_start
+        stalled = self.engine.now - stall_start
+        self.network_stall_cycles += stalled
+        if self.trace is not None:
+            self.trace.count(self._trace_component, "network_stall_cycles", stalled)
         self._issue_word(index)
 
     def _crosses_page(self, prev_address: int, address: int) -> bool:
@@ -230,5 +240,19 @@ class PrefetchUnit:
         if handle.invalidated:
             return  # the buffer was invalidated by a newer fire()
         handle.record_arrival(index, self.engine.now)
+        if self.trace is not None:
+            self.trace.count(self._trace_component, "buffer_words_filled")
+            if handle.words_arrived % 32 == 1:
+                self.trace.sample(
+                    self._trace_component, "buffer_fill_words",
+                    handle.words_arrived, self.engine.now,
+                )
         if handle.complete:
             self.completed.append(handle)
+            if self.trace is not None:
+                self.trace.complete(
+                    self._trace_component,
+                    f"prefetch[{handle.length}w stride {handle.stride}]",
+                    handle.fire_cycle, self.engine.now,
+                    first_word_latency=handle.first_word_latency(),
+                )

@@ -77,9 +77,10 @@ class SyncProcessor:
     exactly the property the hardware provides.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self._words: Dict[int, int] = {}
         self.operations_executed = 0
+        self.trace = tracer.if_enabled() if tracer is not None else None
 
     def read(self, address: int) -> int:
         """Current 32-bit value at ``address`` (0 if never written)."""
@@ -91,6 +92,8 @@ class SyncProcessor:
     def test_and_set(self, address: int) -> SyncOutcome:
         """Classic Test-And-Set: returns the old value, sets the word to 1."""
         self.operations_executed += 1
+        if self.trace is not None:
+            self.trace.count("sync", "test_and_set")
         old = self.read(address)
         self.write(address, 1)
         return SyncOutcome(test_passed=(old == 0), old_value=old, new_value=1)
@@ -109,6 +112,8 @@ class SyncProcessor:
         passes is the operation applied.
         """
         self.operations_executed += 1
+        if self.trace is not None:
+            self.trace.count("sync", "test_and_operate")
         old = self.read(address)
         if not _TESTS[test](old, key & _MASK32):
             return SyncOutcome(test_passed=False, old_value=old, new_value=old)

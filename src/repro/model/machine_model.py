@@ -31,6 +31,7 @@ from repro.lang.placement import Placement
 from repro.lang.program import Program
 from repro.lang.runtime import DEFAULT_OPTIONS, RuntimeOptions, Schedule
 from repro.model.costs import CostModel
+from repro.trace import Tracer, current_tracer
 
 
 @dataclass
@@ -60,9 +61,12 @@ class CedarMachineModel:
         self,
         config: CedarConfig = DEFAULT_CONFIG,
         cost_model: Optional[CostModel] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.config = config
         self.costs = cost_model or CostModel(config)
+        # Same ambient-tracer rule as CedarMachine: explicit > tracing() scope.
+        self.tracer = tracer if tracer is not None else current_tracer()
 
     # -- public API -----------------------------------------------------------
 
@@ -80,11 +84,35 @@ class CedarMachineModel:
             processors=processors,
             flops=program.total_flops(),
         )
+        trace = self.tracer.if_enabled() if self.tracer is not None else None
         for construct in program.body:
             seconds = self._time_construct(construct, options, clusters)
+            if trace is not None:
+                self._trace_construct(trace, program.name, construct,
+                                      report.seconds, seconds)
             report.seconds += seconds
             report.add(self._label(construct), seconds)
         return report
+
+    def _trace_construct(
+        self, trace: Tracer, program: str, construct: Construct,
+        start_seconds: float, seconds: float,
+    ) -> None:
+        """One cost-attribution span per timed construct.
+
+        The analytic model has no event clock, so spans carry explicit times:
+        the cursor of accumulated program seconds, converted to CE cycles so
+        model and hardware traces share a time base.
+        """
+        label = self._label(construct)
+        start = round(start_seconds / CE_CYCLE_SECONDS)
+        end = round((start_seconds + seconds) / CE_CYCLE_SECONDS)
+        trace.complete(
+            "model", f"{program}.{label}", start, end,
+            kind=type(construct).__name__, seconds=seconds,
+        )
+        trace.count("model", f"seconds[{label}]", seconds)
+        trace.count("model", "constructs_timed")
 
     def execute_serial(self, program: Program) -> ExecutionReport:
         """Uniprocessor scalar execution (the speed-improvement baseline)."""

@@ -1,0 +1,197 @@
+"""Exporters for trace-bus data.
+
+Two output formats, mirroring the paper's workstation-side analysis flow
+("software tools ... move the data collected by the performance hardware to
+workstations for analysis", Section 2):
+
+* :func:`chrome_trace_events` / :func:`chrome_trace_json` -- the Chrome
+  trace-event format (the JSON ``chrome://tracing`` and Perfetto load):
+  spans become ``"X"`` complete events, counter samples become ``"C"``
+  counter events, instants become ``"i"`` events.  Each tracer epoch (one
+  machine instance) is a separate pid with named component tids.
+* :func:`utilization_report` -- a plain-text per-component utilization and
+  counter summary, grouped by top-level component (``memory.m07`` rolls up
+  under ``memory``).
+
+Timestamps are emitted in microseconds (one CE cycle = 170 ns = 0.17 us).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.config import CE_CYCLE_SECONDS
+from repro.trace.tracer import Tracer
+
+#: Microseconds per CE cycle.
+_US_PER_CYCLE = CE_CYCLE_SECONDS * 1e6
+
+
+def _cycles_to_us(cycles: float) -> float:
+    return round(cycles * _US_PER_CYCLE, 4)
+
+
+def chrome_trace_events(tracer: Tracer) -> List[dict]:
+    """The ``traceEvents`` array for one tracer's records."""
+    components = sorted(
+        {s.component for s in tracer.spans}
+        | {i.component for i in tracer.instants}
+        | {c.component for c in tracer.samples}
+    )
+    tids = {component: index + 1 for index, component in enumerate(components)}
+    epochs = sorted(
+        {s.epoch for s in tracer.spans}
+        | {i.epoch for i in tracer.instants}
+        | {c.epoch for c in tracer.samples}
+    )
+    events: List[dict] = []
+    for epoch in epochs:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": epoch,
+                "tid": 0,
+                "args": {"name": f"machine run {epoch}"},
+            }
+        )
+        for component, tid in tids.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": epoch,
+                    "tid": tid,
+                    "args": {"name": component},
+                }
+            )
+    for span in tracer.spans:
+        event = {
+            "name": span.name,
+            "cat": span.component,
+            "ph": "X",
+            "ts": _cycles_to_us(span.start),
+            "dur": _cycles_to_us(span.cycles),
+            "pid": span.epoch,
+            "tid": tids[span.component],
+        }
+        args = dict(span.args or {})
+        args["start_cycle"] = span.start
+        args["cycles"] = span.cycles
+        event["args"] = args
+        events.append(event)
+    for instant in tracer.instants:
+        events.append(
+            {
+                "name": instant.name,
+                "cat": instant.component,
+                "ph": "i",
+                "s": "t",
+                "ts": _cycles_to_us(instant.cycle),
+                "pid": instant.epoch,
+                "tid": tids[instant.component],
+                "args": {"value": repr(instant.value)},
+            }
+        )
+    for sample in tracer.samples:
+        events.append(
+            {
+                "name": f"{sample.component}.{sample.name}",
+                "cat": sample.component,
+                "ph": "C",
+                "ts": _cycles_to_us(sample.cycle),
+                "pid": sample.epoch,
+                "tid": tids[sample.component],
+                "args": {sample.name: sample.value},
+            }
+        )
+    return events
+
+
+def chrome_trace_json(tracer: Tracer, indent: int = 0) -> str:
+    """Full Chrome trace-event JSON document (object form)."""
+    document = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "cedar-repro trace bus",
+            "cycle_ns": CE_CYCLE_SECONDS * 1e9,
+            "epochs": len(tracer.elapsed_by_epoch()) or 1,
+            "dropped_records": tracer.dropped,
+        },
+    }
+    return json.dumps(document, indent=indent or None)
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    """Write the Chrome trace-event JSON for ``tracer`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(chrome_trace_json(tracer))
+
+
+# ---------------------------------------------------------------------------
+# Text report
+# ---------------------------------------------------------------------------
+
+
+def _group(component: str) -> str:
+    return component.split(".", 1)[0]
+
+
+def utilization_report(tracer: Tracer) -> str:
+    """Per-component utilization and counter totals, as plain text.
+
+    Components are rolled up by their top-level name; utilization divides
+    total busy (span) cycles by wall cycles times the number of subunits, so
+    32 memory modules each busy half the time report as 50%.
+    """
+    elapsed = tracer.elapsed_by_epoch()
+    wall = sum(elapsed.values())
+    busy = tracer.busy_cycles()
+    span_counts = tracer.span_counts()
+
+    groups: Dict[str, Dict[str, object]] = {}
+    for component, cycles in busy.items():
+        group = groups.setdefault(
+            _group(component), {"subunits": set(), "busy": 0, "spans": 0}
+        )
+        group["subunits"].add(component)  # type: ignore[union-attr]
+        group["busy"] += cycles  # type: ignore[operator]
+        group["spans"] += span_counts.get(component, 0)  # type: ignore[operator]
+
+    lines: List[str] = []
+    epochs = len(elapsed) or 1
+    lines.append(
+        f"Trace report: {epochs} machine run(s), {wall} wall cycles, "
+        f"{tracer.num_records} records ({tracer.dropped} dropped)"
+    )
+    lines.append("")
+    if groups:
+        lines.append("Component utilization (span busy-cycles / wall-cycles):")
+        header = f"  {'component':<14} {'subunits':>8} {'spans':>9} {'busy-cyc':>12} {'util':>8}"
+        lines.append(header)
+        for name in sorted(groups):
+            group = groups[name]
+            subunits = len(group["subunits"])  # type: ignore[arg-type]
+            busy_cycles = group["busy"]
+            capacity = wall * subunits
+            util = (busy_cycles / capacity * 100.0) if capacity else 0.0
+            lines.append(
+                f"  {name:<14} {subunits:>8} {group['spans']:>9} "
+                f"{busy_cycles:>12} {util:>7.1f}%"
+            )
+        lines.append("")
+
+    totals = tracer.counter_totals()
+    if totals:
+        rolled: Dict[Tuple[str, str], float] = {}
+        for component, counters in totals.items():
+            for name, value in counters.items():
+                key = (_group(component), name)
+                rolled[key] = rolled.get(key, 0) + value
+        lines.append("Counters:")
+        for (group, name), value in sorted(rolled.items()):
+            rendered = f"{value:.0f}" if float(value).is_integer() else f"{value:.2f}"
+            lines.append(f"  {group + '.' + name:<38} {rendered:>14}")
+    return "\n".join(lines)

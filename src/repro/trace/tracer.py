@@ -1,0 +1,361 @@
+"""The machine-wide instrumentation bus.
+
+The paper's methodology rests on external hardware performance monitors:
+event tracers and histogrammers cascaded across the machine, fed by hardware
+signals from every subsystem (Section 2, "Performance monitoring").  This
+module is the simulator-side generalization of that cabling: a single
+:class:`Tracer` *bus* that every hardware component (crossbars, networks,
+memory modules, caches, prefetch units, the concurrency control bus, the
+synchronization processors) and the analytic machine model report into.
+
+Three record kinds are collected:
+
+* **counters** -- monotonically accumulated totals per (component, name),
+  optionally with a bounded sampled timeline for utilization plots;
+* **spans** -- [start, end) intervals (a memory module servicing a request,
+  a prefetch in flight, one cost term of the analytic model);
+* **instants** -- point events (software-posted events, bus signals).
+
+Like the paper's 1M-event tracers, the record store is bounded
+(``max_records``); overflowing records are counted in :attr:`Tracer.dropped`
+rather than silently lost, while counter *totals* and busy-cycle aggregates
+stay exact regardless.
+
+Zero overhead when disabled: every recording entry point starts with an
+``enabled`` check, and hot components hold ``tracer.if_enabled()`` -- ``None``
+when tracing is off -- so the per-event cost of a disabled tracer is a single
+``is not None`` test.
+
+The bus side (:meth:`Tracer.publish` / :meth:`Tracer.subscribe`) always
+delivers, independent of ``enabled``: the paper-faithful
+:class:`~repro.hardware.monitor.PerformanceMonitor` consumes its Table 2
+signals through subscriptions, and those measurements must not depend on
+whether anyone is also recording a timeline.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import TraceError
+
+Clock = Callable[[], int]
+
+#: Default bound on stored records, matching the hardware tracers' 1M events.
+DEFAULT_MAX_RECORDS = 1_000_000
+
+
+@dataclass(frozen=True)
+class Span:
+    """One [start, end) interval on a component's timeline."""
+
+    component: str
+    name: str
+    epoch: int
+    start: int
+    end: int
+    depth: int = 0
+    args: Optional[Dict[str, object]] = None
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A point event on a component's timeline."""
+
+    component: str
+    name: str
+    epoch: int
+    cycle: int
+    value: object = None
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One sampled point of a counter's timeline."""
+
+    component: str
+    name: str
+    epoch: int
+    cycle: int
+    value: float
+
+
+class CounterSet:
+    """Named counters belonging to one component.
+
+    Totals are exact and unbounded; sampled timeline points go through the
+    owning tracer's bounded record store.
+    """
+
+    def __init__(self, component: str, tracer: "Tracer") -> None:
+        self.component = component
+        self._tracer = tracer
+        self.totals: Dict[str, float] = {}
+
+    def add(self, name: str, delta: float = 1) -> float:
+        """Accumulate ``delta`` into counter ``name``; returns the new total."""
+        total = self.totals.get(name, 0) + delta
+        self.totals[name] = total
+        return total
+
+    def sample(self, name: str, value: float, cycle: int) -> None:
+        """Set counter ``name`` to ``value`` and record a timeline point."""
+        self.totals[name] = value
+        self._tracer._record_sample(self.component, name, cycle, value)
+
+    def get(self, name: str) -> float:
+        return self.totals.get(name, 0)
+
+
+class Tracer:
+    """The instrumentation event bus attached to a machine's clock.
+
+    One tracer can observe several consecutive machine instances (e.g. the
+    twelve kernel runs behind Table 2): each :meth:`set_clock` call opens a
+    new *epoch*, so runs whose engines all start at cycle 0 stay separable
+    in exports (one trace "process" per epoch).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Optional[Clock] = None,
+        max_records: int = DEFAULT_MAX_RECORDS,
+    ) -> None:
+        if max_records < 1:
+            raise TraceError(f"max_records must be >= 1, got {max_records}")
+        self.enabled = enabled
+        self.clock = clock
+        self.max_records = max_records
+        self.epoch = 0
+        self.dropped = 0
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        self.samples: List[CounterSample] = []
+        self._clock_was_set = clock is not None
+        self._counter_sets: Dict[str, CounterSet] = {}
+        self._span_stacks: Dict[str, List[Tuple[str, int, Optional[Dict[str, object]]]]] = {}
+        self._subscribers: Dict[str, List[Callable[[object], None]]] = {}
+        self._busy: Dict[str, int] = {}
+        self._span_counts: Dict[str, int] = {}
+        self._elapsed: Dict[int, int] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def if_enabled(self) -> Optional["Tracer"]:
+        """``self`` when recording, else ``None`` (the hot-path guard)."""
+        return self if self.enabled else None
+
+    def set_clock(self, clock: Clock) -> None:
+        """Attach to a (new) machine clock, opening a fresh epoch."""
+        if self._clock_was_set:
+            self.epoch += 1
+        self._clock_was_set = True
+        self.clock = clock
+
+    def now(self) -> int:
+        if self.clock is None:
+            raise TraceError("tracer has no clock; call set_clock() first")
+        return self.clock()
+
+    # -- counters ----------------------------------------------------------
+
+    def counters(self, component: str) -> CounterSet:
+        """Get or create the :class:`CounterSet` of ``component``."""
+        counters = self._counter_sets.get(component)
+        if counters is None:
+            counters = self._counter_sets[component] = CounterSet(component, self)
+        return counters
+
+    def count(self, component: str, name: str, delta: float = 1) -> None:
+        """Accumulate into a counter (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.counters(component).add(name, delta)
+
+    def sample(self, component: str, name: str, value: float, cycle: int) -> None:
+        """Record a counter timeline point (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.counters(component).sample(name, value, cycle)
+
+    def counter_totals(self) -> Dict[str, Dict[str, float]]:
+        """{component: {counter: total}} for every non-empty counter set."""
+        return {
+            component: dict(counters.totals)
+            for component, counters in sorted(self._counter_sets.items())
+            if counters.totals
+        }
+
+    # -- spans -------------------------------------------------------------
+
+    def begin(self, component: str, name: str, **args: object) -> None:
+        """Open a (nestable) span on ``component`` at the current clock."""
+        if not self.enabled:
+            return
+        stack = self._span_stacks.setdefault(component, [])
+        stack.append((name, self.now(), args or None))
+
+    def end(self, component: str) -> None:
+        """Close the innermost open span of ``component``."""
+        if not self.enabled:
+            return
+        stack = self._span_stacks.get(component)
+        if not stack:
+            raise TraceError(f"end() without begin() on component {component!r}")
+        name, start, args = stack.pop()
+        self._record_span(
+            Span(
+                component=component,
+                name=name,
+                epoch=self.epoch,
+                start=start,
+                end=self.now(),
+                depth=len(stack),
+                args=args,
+            )
+        )
+
+    @contextmanager
+    def span(self, component: str, name: str, **args: object) -> Iterator[None]:
+        """``with tracer.span("machine", "run_kernel"): ...``"""
+        self.begin(component, name, **args)
+        try:
+            yield
+        finally:
+            self.end(component)
+
+    def complete(
+        self, component: str, name: str, start: int, end: int, **args: object
+    ) -> None:
+        """Record an already-timed interval (no clock or stack involved).
+
+        This is the form hardware components use: they know their service
+        intervals exactly and may have many in flight per component, where a
+        begin/end stack would mis-nest.
+        """
+        if not self.enabled:
+            return
+        if end < start:
+            raise TraceError(f"span {component}/{name} ends before it starts")
+        self._record_span(
+            Span(
+                component=component,
+                name=name,
+                epoch=self.epoch,
+                start=start,
+                end=end,
+                args=args or None,
+            )
+        )
+
+    def open_spans(self, component: str) -> int:
+        """Depth of the begin/end stack (for tests and sanity checks)."""
+        return len(self._span_stacks.get(component, ()))
+
+    # -- instants ----------------------------------------------------------
+
+    def instant(
+        self, component: str, name: str, cycle: Optional[int] = None, value: object = None
+    ) -> None:
+        """Record a point event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        if cycle is None:
+            cycle = self.now() if self.clock is not None else 0
+        self._note_cycle(cycle)
+        self._record(Instant(component, name, self.epoch, cycle, value))
+
+    # -- the bus (always on) -----------------------------------------------
+
+    def subscribe(self, signal: str, handler: Callable[[object], None]) -> None:
+        """Deliver every published ``signal`` value to ``handler``."""
+        self._subscribers.setdefault(signal, []).append(handler)
+
+    def publish(self, signal: str, value: object = None) -> None:
+        """Deliver ``value`` to subscribers; also recorded when enabled."""
+        handlers = self._subscribers.get(signal)
+        if handlers:
+            for handler in handlers:
+                handler(value)
+        if self.enabled:
+            self.instant("bus", signal, value=value)
+
+    # -- aggregates for reporting -------------------------------------------
+
+    def busy_cycles(self) -> Dict[str, int]:
+        """Total span cycles per component (exact, unaffected by drops)."""
+        return dict(self._busy)
+
+    def span_counts(self) -> Dict[str, int]:
+        return dict(self._span_counts)
+
+    def elapsed_by_epoch(self) -> Dict[int, int]:
+        """Largest cycle observed per epoch (the utilization denominator)."""
+        return dict(self._elapsed)
+
+    @property
+    def num_records(self) -> int:
+        return len(self.spans) + len(self.instants) + len(self.samples)
+
+    # -- internals ---------------------------------------------------------
+
+    def _record_span(self, span: Span) -> None:
+        self._busy[span.component] = self._busy.get(span.component, 0) + span.cycles
+        self._span_counts[span.component] = self._span_counts.get(span.component, 0) + 1
+        self._note_cycle(span.end)
+        self._record(span)
+
+    def _record_sample(self, component: str, name: str, cycle: int, value: float) -> None:
+        self._note_cycle(cycle)
+        self._record(CounterSample(component, name, self.epoch, cycle, value))
+
+    def _record(self, record: object) -> None:
+        if self.num_records >= self.max_records:
+            self.dropped += 1
+            return
+        if isinstance(record, Span):
+            self.spans.append(record)
+        elif isinstance(record, Instant):
+            self.instants.append(record)
+        else:
+            assert isinstance(record, CounterSample)
+            self.samples.append(record)
+
+    def _note_cycle(self, cycle: int) -> None:
+        if cycle > self._elapsed.get(self.epoch, 0):
+            self._elapsed[self.epoch] = cycle
+
+
+# ---------------------------------------------------------------------------
+# Ambient tracer: lets `cedar-repro trace` observe experiments whose drivers
+# build machines internally, without threading a tracer through every call.
+# ---------------------------------------------------------------------------
+
+_ACTIVE: List[Tracer] = []
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The innermost tracer installed by :func:`tracing`, if any."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the ambient tracer for the enclosed block.
+
+    Every :class:`~repro.hardware.machine.CedarMachine` and
+    :class:`~repro.model.machine_model.CedarMachineModel` constructed inside
+    the block attaches to it by default.
+    """
+    _ACTIVE.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.pop()

@@ -85,6 +85,36 @@ class TestRunControl:
         with pytest.raises(SimulationError):
             engine.run(max_events=1000)
 
+    def test_exactly_max_events_completes(self):
+        """The guard fires only when a (max_events+1)-th event is pending."""
+        engine = Engine()
+        for _ in range(10):
+            engine.schedule(1, lambda: None)
+        assert engine.run(max_events=10) == 1
+        assert engine.pending() == 0
+
+    def test_runaway_error_names_the_cycle(self):
+        engine = Engine()
+
+        def forever():
+            engine.schedule(1, forever)
+
+        engine.schedule(0, forever)
+        with pytest.raises(SimulationError, match=r"at cycle 999"):
+            engine.run(max_events=1000)
+
+    def test_run_counts_dispatches_on_attached_tracer(self):
+        from repro.trace import Tracer
+
+        engine = Engine()
+        tracer = Tracer(clock=lambda: engine.now)
+        engine.tracer = tracer.if_enabled()
+        for delay in (1, 2, 3):
+            engine.schedule(delay, lambda: None)
+        engine.run_until_idle()
+        totals = tracer.counter_totals()["engine"]
+        assert totals == {"events_dispatched": 3, "runs": 1}
+
     def test_reentrant_run_rejected(self):
         engine = Engine()
 

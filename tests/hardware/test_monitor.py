@@ -86,6 +86,26 @@ class TestHistogrammer:
         with pytest.raises(MonitorError):
             histogram.record(-1)
 
+    def test_wide_bin_mean_uses_midpoints(self):
+        histogram = Histogrammer(DEFAULT_CONFIG.monitor, bin_width=10)
+        histogram.record(5)
+        histogram.record(7)
+        # Both land in bin [0, 10), whose midpoint is 4.5.
+        assert histogram.mean() == pytest.approx(4.5)
+
+    def test_percentile_at_full_fraction_is_max_bin(self):
+        histogram = Histogrammer(DEFAULT_CONFIG.monitor, bin_width=4)
+        for value in (1, 9, 17):
+            histogram.record(value)
+        assert histogram.percentile(1.0) == 16
+
+    def test_counters_saturate_at_32_bits(self):
+        histogram = Histogrammer(DEFAULT_CONFIG.monitor)
+        histogram._counters[0] = 2**32 - 1
+        histogram.record(0)
+        assert histogram._counters[0] == 2**32 - 1
+        assert histogram.overflow == 0  # saturation is not bin overflow
+
 
 class TestPerformanceMonitor:
     def test_named_instruments_are_singletons(self):
@@ -100,3 +120,59 @@ class TestPerformanceMonitor:
         assert tracer.armed
         monitor.stop_all()
         assert not tracer.armed
+
+    def test_tracer_full_flag(self):
+        from repro.config import MonitorConfig
+
+        tracer = EventTracer(MonitorConfig(tracer_capacity_events=2))
+        tracer.start()
+        assert not tracer.full
+        tracer.post(1, "x")
+        tracer.post(2, "x")
+        assert tracer.full
+        assert tracer.dropped == 0  # full is a warning, not yet a loss
+
+    def test_latency_summary_names_missing_histograms(self):
+        monitor = PerformanceMonitor(DEFAULT_CONFIG.monitor)
+        with pytest.raises(MonitorError, match=r"'first_word_latency', 'interarrival'"):
+            monitor.latency_summary()
+        monitor.histogram("first_word_latency").record(90)
+        with pytest.raises(MonitorError) as excinfo:
+            monitor.latency_summary()
+        message = str(excinfo.value)
+        assert "'interarrival'" in message
+        assert "'first_word_latency'" not in message
+        assert "record_prefetch" in message
+
+    def test_latency_summary_via_trace_bus(self):
+        """A bus-connected monitor hears record_prefetch as signals."""
+        from repro.trace import Tracer
+
+        class Handle:
+            @staticmethod
+            def first_word_latency():
+                return 90
+
+            @staticmethod
+            def interarrival_times():
+                return [4, 6]
+
+        bus = Tracer(enabled=False)
+        connected = PerformanceMonitor(DEFAULT_CONFIG.monitor)
+        connected.connect(bus)
+        standalone = PerformanceMonitor(DEFAULT_CONFIG.monitor)
+        connected.record_prefetch(Handle)
+        standalone.record_prefetch(Handle)
+        assert connected.latency_summary() == standalone.latency_summary()
+        assert connected.latency_summary() == pytest.approx((90.0, 5.0))
+
+    def test_software_events_travel_over_the_bus(self):
+        from repro.trace import Tracer
+
+        bus = Tracer(enabled=False)
+        monitor = PerformanceMonitor(DEFAULT_CONFIG.monitor)
+        monitor.connect(bus)
+        monitor.tracer("software").start()
+        bus.publish(PerformanceMonitor.SOFTWARE_SIGNAL, (42, "loop_done", 7))
+        events = monitor.tracer("software").events("loop_done")
+        assert [(e.cycle, e.value) for e in events] == [(42, 7)]

@@ -1,0 +1,69 @@
+"""Tests for the cedar-repro command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("table1", "table2", "table6", "restructuring"):
+            assert key in out
+
+
+class TestUnknownExperiment:
+    def test_near_miss_suggestion(self, capsys):
+        assert main(["run", "tabel2"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'tabel2'" in err
+        assert "did you mean" in err
+        assert "table2" in err
+
+    def test_no_match_points_at_list(self, capsys):
+        assert main(["run", "zzzzzz"]) == 2
+        err = capsys.readouterr().err
+        assert "try 'cedar-repro list'" in err
+
+    def test_trace_rejects_unknown_too(self, capsys):
+        assert main(["trace", "restructering"]) == 2
+        assert "restructuring" in capsys.readouterr().err
+
+
+class TestRunJson:
+    def test_json_output_is_machine_readable(self, capsys):
+        assert main(["run", "table6", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 1
+        entry = payload[0]
+        assert entry["experiment"] == "table6"
+        assert entry["description"]
+        assert "Ep" in entry["rendered"] or "band" in entry["rendered"].lower()
+        # The structured result must survive a JSON round trip untouched.
+        assert json.loads(json.dumps(entry["result"])) == entry["result"]
+
+    def test_plain_run_still_renders(self, capsys):
+        assert main(["run", "table6"]) == 0
+        assert "High" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_trace_report_on_analytic_experiment(self, capsys):
+        assert main(["trace", "table6", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "Trace report:" in out
+        assert "model.constructs_timed" in out
+
+    def test_trace_writes_chrome_json(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", "table6", "--out", str(out_file)]) == 0
+        captured = capsys.readouterr()
+        assert "wrote" in captured.err
+        doc = json.loads(out_file.read_text())
+        assert doc["traceEvents"]
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        # --out without --report skips the text report.
+        assert "Trace report:" not in captured.out

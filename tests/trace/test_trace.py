@@ -1,0 +1,222 @@
+"""Tests for the machine-wide instrumentation bus (repro.trace)."""
+
+import json
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.errors import TraceError
+from repro.trace import (
+    Tracer,
+    chrome_trace_events,
+    chrome_trace_json,
+    current_tracer,
+    tracing,
+    utilization_report,
+)
+
+
+class FakeClock:
+    def __init__(self, cycle: int = 0) -> None:
+        self.cycle = cycle
+
+    def __call__(self) -> int:
+        return self.cycle
+
+
+class TestDisabledFastPath:
+    def test_recording_is_a_no_op(self):
+        tracer = Tracer(enabled=False, clock=FakeClock())
+        tracer.count("memory", "requests")
+        tracer.sample("fwd", "occupancy", 12.0, cycle=5)
+        tracer.begin("machine", "run")
+        tracer.end("machine")
+        tracer.complete("memory", "read", 0, 4)
+        tracer.instant("ce00", "posted")
+        assert tracer.num_records == 0
+        assert tracer.counter_totals() == {}
+        assert tracer.busy_cycles() == {}
+
+    def test_if_enabled_is_none(self):
+        assert Tracer(enabled=False).if_enabled() is None
+        tracer = Tracer(enabled=True)
+        assert tracer.if_enabled() is tracer
+
+    def test_bus_still_delivers_when_disabled(self):
+        """Table 2 correctness must not depend on timeline recording."""
+        tracer = Tracer(enabled=False)
+        seen = []
+        tracer.subscribe("prefetch.first_word_latency", seen.append)
+        tracer.publish("prefetch.first_word_latency", 93)
+        assert seen == [93]
+        assert tracer.num_records == 0
+
+    def test_end_without_begin_is_silent_when_disabled(self):
+        # The stack never opened, so nothing can be unbalanced.
+        Tracer(enabled=False).end("machine")
+
+
+class TestSpans:
+    def test_nesting_depths(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        tracer.begin("machine", "outer")
+        clock.cycle = 10
+        tracer.begin("machine", "inner")
+        clock.cycle = 30
+        tracer.end("machine")
+        clock.cycle = 50
+        tracer.end("machine")
+        inner, outer = tracer.spans
+        assert (inner.name, inner.depth, inner.cycles) == ("inner", 1, 20)
+        assert (outer.name, outer.depth, outer.cycles) == ("outer", 0, 50)
+        assert tracer.open_spans("machine") == 0
+
+    def test_span_context_manager_closes_on_error(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("machine", "run"):
+                raise RuntimeError("kernel died")
+        assert tracer.open_spans("machine") == 0
+        assert tracer.spans[0].name == "run"
+
+    def test_end_without_begin_raises(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(TraceError):
+            tracer.end("machine")
+
+    def test_complete_rejects_negative_interval(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(TraceError):
+            tracer.complete("memory", "read", 10, 4)
+
+    def test_busy_cycles_survive_record_drops(self):
+        tracer = Tracer(clock=FakeClock(), max_records=2)
+        for start in range(5):
+            tracer.complete("memory.m00", "read", start, start + 4)
+        assert tracer.dropped == 3
+        assert len(tracer.spans) == 2
+        assert tracer.busy_cycles() == {"memory.m00": 20}
+        assert tracer.span_counts() == {"memory.m00": 5}
+
+    def test_begin_needs_a_clock(self):
+        with pytest.raises(TraceError):
+            Tracer().begin("machine", "run")
+
+
+class TestEpochs:
+    def test_set_clock_opens_new_epochs(self):
+        tracer = Tracer()
+        tracer.set_clock(FakeClock(0))
+        assert tracer.epoch == 0
+        tracer.complete("machine", "run", 0, 100)
+        tracer.set_clock(FakeClock(0))
+        assert tracer.epoch == 1
+        tracer.complete("machine", "run", 0, 60)
+        assert [s.epoch for s in tracer.spans] == [0, 1]
+        assert tracer.elapsed_by_epoch() == {0: 100, 1: 60}
+
+
+class TestCounters:
+    def test_totals_accumulate(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.count("fwd", "packets", 3)
+        tracer.count("fwd", "packets")
+        assert tracer.counter_totals() == {"fwd": {"packets": 4}}
+
+    def test_samples_are_bounded_records(self):
+        tracer = Tracer(clock=FakeClock(), max_records=1)
+        tracer.sample("fwd", "occupancy", 7.0, cycle=3)
+        tracer.sample("fwd", "occupancy", 9.0, cycle=6)
+        assert len(tracer.samples) == 1
+        assert tracer.dropped == 1
+        # The latest sampled value still lands in the exact totals.
+        assert tracer.counters("fwd").get("occupancy") == 9.0
+
+
+class TestChromeExport:
+    def _traced(self) -> Tracer:
+        clock = FakeClock()
+        tracer = Tracer()
+        tracer.set_clock(clock)
+        with tracer.span("machine", "run_kernel[2 ces]"):
+            clock.cycle = 100
+        tracer.complete("memory.m00", "read", 5, 9, address=160)
+        tracer.sample("fwd", "occupancy_words", 12.0, cycle=40)
+        tracer.instant("ce00", "loop_done", cycle=90, value=1)
+        return tracer
+
+    def test_document_schema(self):
+        doc = json.loads(chrome_trace_json(self._traced()))
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["otherData"]["cycle_ns"] == pytest.approx(170.0)
+        phases = {event["ph"] for event in doc["traceEvents"]}
+        assert {"M", "X", "C", "i"} <= phases
+        for event in doc["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+
+    def test_complete_events_carry_duration_in_us(self):
+        events = chrome_trace_events(self._traced())
+        read = next(e for e in events if e["ph"] == "X" and e["name"] == "read")
+        assert read["ts"] == pytest.approx(5 * 0.17)
+        assert read["dur"] == pytest.approx(4 * 0.17)
+        assert read["args"]["address"] == 160
+        assert read["args"]["cycles"] == 4
+
+    def test_counter_and_metadata_events(self):
+        events = chrome_trace_events(self._traced())
+        counter = next(e for e in events if e["ph"] == "C")
+        assert counter["args"] == {"occupancy_words": 12.0}
+        thread_names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"machine", "memory.m00", "fwd", "ce00"} <= thread_names
+
+
+class TestAmbientTracer:
+    def test_tracing_installs_and_restores(self):
+        assert current_tracer() is None
+        tracer = Tracer()
+        with tracing(tracer) as installed:
+            assert installed is tracer
+            assert current_tracer() is tracer
+            inner = Tracer()
+            with tracing(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is tracer
+        assert current_tracer() is None
+
+
+class TestMachineIntegration:
+    def _run_machine(self, tracer: Tracer) -> None:
+        from repro.hardware.ce import ArmFirePrefetch, Compute, ConsumePrefetch
+        from repro.hardware.machine import CedarMachine
+
+        machine = CedarMachine(DEFAULT_CONFIG, tracer=tracer)
+
+        def kernel(ce):
+            handle = yield ArmFirePrefetch(
+                length=32, stride=1, start_address=ce.global_port * 512
+            )
+            yield ConsumePrefetch(handle)
+            yield Compute(10, flops=5.0)
+
+        machine.run_kernel(kernel, num_ces=8)
+
+    def test_machine_run_covers_five_plus_components(self):
+        tracer = Tracer(enabled=True)
+        self._run_machine(tracer)
+        groups = {c.split(".", 1)[0] for c in tracer.counter_totals()}
+        groups |= {c.split(".", 1)[0] for c in tracer.busy_cycles()}
+        assert {"machine", "memory", "prefetch", "fwd", "rev", "engine"} <= groups
+        report = utilization_report(tracer)
+        assert "Component utilization" in report
+        assert "memory" in report and "prefetch" in report
+
+    def test_disabled_tracer_records_nothing_on_machine_run(self):
+        quiet = Tracer(enabled=False)
+        self._run_machine(quiet)
+        assert quiet.num_records == 0
+        assert quiet.counter_totals() == {}
