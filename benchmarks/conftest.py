@@ -4,11 +4,55 @@ Every benchmark regenerates one table or figure of the paper and prints the
 artifact, so ``pytest benchmarks/ --benchmark-only -s`` reproduces the
 whole evaluation section.  Cycle-level simulations are expensive; each
 benchmark runs one round.
+
+The harness self-profiles into a :class:`repro.metrics.MetricsRegistry`:
+each :func:`run_once` records its wall-clock as a labeled gauge, and the
+session summary prints the registry in Prometheus text format (pass
+``--bench-metrics-out FILE`` to also write it to a file, e.g. for a
+scrape-style CI artifact).
 """
 
+import time
+
 import pytest
+
+from repro.metrics import MetricsRegistry, prometheus_text
+
+_REGISTRY = MetricsRegistry()
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-metrics-out",
+        action="store",
+        default=None,
+        metavar="FILE",
+        help="write the benchmark self-profile (Prometheus text) to FILE",
+    )
 
 
 def run_once(benchmark, function):
     """Run an experiment exactly once under the benchmark clock."""
-    return benchmark.pedantic(function, rounds=1, iterations=1)
+    start = time.perf_counter()
+    result = benchmark.pedantic(function, rounds=1, iterations=1)
+    _REGISTRY.gauge(
+        "bench_wall_seconds",
+        {"benchmark": benchmark.name},
+        help="wall-clock of each benchmark's single measured round",
+    ).set(time.perf_counter() - start)
+    return result
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not len(_REGISTRY):
+        return
+    text = prometheus_text(_REGISTRY)
+    out = config.getoption("--bench-metrics-out")
+    if out:
+        with open(out, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        terminalreporter.write_line(f"benchmark self-profile written to {out}")
+        return
+    terminalreporter.section("benchmark self-profile (Prometheus)")
+    for line in text.splitlines():
+        terminalreporter.write_line(line)

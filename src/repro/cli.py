@@ -5,11 +5,15 @@ Usage::
     cedar-repro list                 # what can be regenerated
     cedar-repro run table1           # one artifact
     cedar-repro run all              # everything (slow: cycle simulations)
-    cedar-repro run table2 --json    # machine-readable result
+    cedar-repro run all --json --out results.json
+                                     # one aggregate JSON document
     cedar-repro trace table2 --out trace.json --report
                                      # same artifact, plus machine-wide
                                      # instrumentation (Chrome trace JSON
                                      # and a utilization report)
+    cedar-repro bench                # full suite -> BENCH_<n>.json snapshot
+                                     # + regression report vs the previous one
+    cedar-repro bench --quick        # sub-minute subset (CI gate)
 """
 
 from __future__ import annotations
@@ -22,11 +26,14 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.errors import BenchError
 from repro.experiments.registry import (
     EXPERIMENTS,
+    QUICK_EXPERIMENTS,
     run_experiment,
     run_experiment_traced,
 )
+from repro.metrics import bench as bench_mod
 from repro.trace import Tracer, utilization_report, write_chrome_trace
 
 
@@ -47,6 +54,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit machine-readable JSON results (for benchmarking scripts)",
     )
+    run.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write results to FILE instead of stdout (implies --json)",
+    )
     trace = sub.add_parser(
         "trace", help="run one experiment with machine-wide instrumentation"
     )
@@ -61,6 +74,76 @@ def _build_parser() -> argparse.ArgumentParser:
         "--report",
         action="store_true",
         help="print the per-component utilization report",
+    )
+    bench = sub.add_parser(
+        "bench",
+        help="run the experiment suite into a BENCH_<n>.json snapshot and "
+        "compare against the previous snapshot",
+    )
+    bench.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment keys to bench (default: the full suite)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="bench only the sub-minute experiments (the CI gate)",
+    )
+    bench.add_argument(
+        "--dir",
+        default=".",
+        metavar="DIR",
+        help="directory holding BENCH_<n>.json snapshots (default: .)",
+    )
+    bench.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="snapshot output path (default: next BENCH_<n>.json in --dir)",
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline snapshot to diff against (default: latest BENCH_* "
+        "in --dir; 'none' skips the comparison)",
+    )
+    bench.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="skip simulator self-profiling timelines (fidelity metrics "
+        "are still recorded)",
+    )
+    bench.add_argument(
+        "--fidelity-tolerance",
+        type=float,
+        default=None,
+        metavar="REL",
+        help="relative tolerance before fidelity drift hard-fails "
+        f"(default {bench_mod.DEFAULT_TOLERANCES['fidelity']:g})",
+    )
+    bench.add_argument(
+        "--machine-tolerance",
+        type=float,
+        default=None,
+        metavar="REL",
+        help="relative tolerance for simulated-machine metrics "
+        f"(default {bench_mod.DEFAULT_TOLERANCES['machine']:g})",
+    )
+    bench.add_argument(
+        "--profile-tolerance",
+        type=float,
+        default=None,
+        metavar="REL",
+        help="relative tolerance before throughput drift warns "
+        f"(default {bench_mod.DEFAULT_TOLERANCES['self_profile']:g})",
+    )
+    bench.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings (throughput drift) too",
     )
     return parser
 
@@ -108,13 +191,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for key in keys:
         if key not in EXPERIMENTS:
             return _unknown_experiment(key)
-    if not args.json:
+    if not args.json and not args.out:
         for key in keys:
             print(run_experiment(key))
             print()
         return 0
+    if args.out:
+        try:  # fail on an unwritable path before the minutes-long runs
+            open(args.out, "w", encoding="utf-8").close()
+        except OSError as error:
+            print(f"cannot write {args.out}: {error}", file=sys.stderr)
+            return 2
     results = []
     for key in keys:
+        if args.out:
+            print(f"running {key} ...", file=sys.stderr)
         experiment = EXPERIMENTS[key]
         result = experiment.run()
         results.append(
@@ -125,7 +216,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "rendered": experiment.render(result),
             }
         )
-    print(json.dumps(results, indent=2))
+    document = json.dumps(results, indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            stream.write(document + "\n")
+        print(f"wrote {len(results)} result(s) to {args.out}", file=sys.stderr)
+    else:
+        print(document)
     return 0
 
 
@@ -154,6 +251,63 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.experiments and args.quick:
+        print("give either experiment keys or --quick, not both", file=sys.stderr)
+        return 2
+    if args.quick:
+        keys = list(QUICK_EXPERIMENTS)
+    elif args.experiments:
+        keys = list(args.experiments)
+    else:
+        keys = sorted(EXPERIMENTS)
+    for key in keys:
+        if key not in EXPERIMENTS:
+            return _unknown_experiment(key)
+
+    tolerances = {}
+    if args.fidelity_tolerance is not None:
+        tolerances["fidelity"] = args.fidelity_tolerance
+    if args.machine_tolerance is not None:
+        tolerances["machine"] = args.machine_tolerance
+    if args.profile_tolerance is not None:
+        tolerances["self_profile"] = args.profile_tolerance
+
+    try:
+        baseline = None
+        if args.baseline != "none":
+            baseline_path = args.baseline or bench_mod.latest_snapshot_path(
+                args.dir
+            )
+            if baseline_path is not None:
+                baseline = bench_mod.load_snapshot(baseline_path)
+                print(f"baseline: {baseline_path}", file=sys.stderr)
+            else:
+                print(
+                    f"no baseline snapshot in {args.dir}; recording only",
+                    file=sys.stderr,
+                )
+        index = bench_mod.next_snapshot_index(args.dir)
+        out_path = args.out or f"{args.dir.rstrip('/')}/BENCH_{index}.json"
+
+        def progress(key: str) -> None:
+            print(f"benching {key} ...", file=sys.stderr)
+
+        snapshot = bench_mod.build_snapshot(
+            keys, index, trace=not args.no_trace, progress=progress
+        )
+        bench_mod.save_snapshot(snapshot, out_path)
+    except (BenchError, OSError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(f"wrote snapshot {index} ({len(keys)} experiment(s)) to {out_path}")
+    if baseline is None:
+        return 0
+    report = bench_mod.compare_snapshots(baseline, snapshot, tolerances)
+    print(report.render())
+    return report.exit_code(strict=args.strict)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -164,6 +318,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return 2
 
 

@@ -29,3 +29,11 @@ class MonitorError(CedarError):
 
 class TraceError(CedarError):
     """The instrumentation/trace bus was misused (unbalanced spans, no clock)."""
+
+
+class MetricsError(CedarError):
+    """The metrics registry was misused (bad name, kind clash, bad value)."""
+
+
+class BenchError(CedarError):
+    """A benchmark snapshot is malformed or cannot be compared."""

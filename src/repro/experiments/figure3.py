@@ -9,11 +9,12 @@ performance, while Cedar has none."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List
 
 from repro.baselines import CRAY_YMP8
 from repro.core.bands import Band, BandCensus, census, classify_efficiency
 from repro.core.report import efficiency_scatter, fraction_description
+from repro.metrics.headline import HeadlineMetric
 from repro.perfect.suite import run_suite
 from repro.perfect.versions import Version
 
@@ -46,6 +47,40 @@ def run() -> Figure3Result:
         cedar_census=census(cedar, 32),
         ymp_census=census(ymp, CRAY_YMP8.processors),
     )
+
+
+def headline_metrics(result: Figure3Result) -> List[HeadlineMetric]:
+    """Figure 3 band counts.  The unacceptable counts are paper-exact
+    ("Cedar has none", YMP "one unacceptable"); the high/intermediate
+    splits are quoted only as fractions and are snapshot-tracked."""
+    return [
+        HeadlineMetric(
+            name="manual_unacceptable_cedar",
+            value=float(result.cedar_census.unacceptable),
+            unit="codes",
+            target=0.0,
+            note='Figure 3, "Cedar has none"',
+        ),
+        HeadlineMetric(
+            name="manual_unacceptable_ymp",
+            value=float(result.ymp_census.unacceptable),
+            unit="codes",
+            target=1.0,
+            note='Figure 3, "the YMP has one unacceptable performance"',
+        ),
+        HeadlineMetric(
+            name="manual_high_cedar",
+            value=float(result.cedar_census.high),
+            unit="codes",
+            note='Figure 3, "about one-quarter high" of 13 codes',
+        ),
+        HeadlineMetric(
+            name="manual_high_ymp",
+            value=float(result.ymp_census.high),
+            unit="codes",
+            note='Figure 3, "about half high" of 13 codes',
+        ),
+    ]
 
 
 def render(result: Figure3Result) -> str:

@@ -17,6 +17,7 @@ from typing import Dict, List, Tuple
 from repro.config import CedarConfig, DEFAULT_CONFIG
 from repro.core.report import format_table
 from repro.kernels.vector_load import measure_vector_load
+from repro.metrics.headline import HeadlineMetric, slugify
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,35 @@ def run(
             )
         )
     return AblationResult(points=tuple(points))
+
+
+def headline_metrics(result: AblationResult) -> List[HeadlineMetric]:
+    """Per-variant interarrival plus the [Turn93] recovery ratio: relaxing
+    the implementation constraints (same topology) must recover most of the
+    degradation, i.e. the ratio falls well below 1."""
+    metrics = []
+    for point in result.points:
+        metrics.append(
+            HeadlineMetric(
+                name=f"interarrival_{slugify(point.name)}",
+                value=point.interarrival,
+                unit="cycles",
+                note=f"network ablation at 32 CEs, {point.name} variant",
+            )
+        )
+    by_name = result.by_name()
+    as_built = by_name["as-built"].interarrival
+    if as_built > 0:
+        metrics.append(
+            HeadlineMetric(
+                name="constraint_recovery_ratio",
+                value=by_name["both"].interarrival / as_built,
+                unit="ratio",
+                note="[Turn93]: relaxed-constraints interarrival over "
+                "as-built; << 1 means degradation is not topological",
+            )
+        )
+    return metrics
 
 
 def render(result: AblationResult) -> str:

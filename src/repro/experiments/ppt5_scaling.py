@@ -24,6 +24,7 @@ from typing import Dict, List, Tuple
 from repro.config import CedarConfig, DEFAULT_CONFIG
 from repro.core.report import format_table
 from repro.kernels.vector_load import measure_vector_load
+from repro.metrics.headline import HeadlineMetric
 
 
 @dataclass(frozen=True)
@@ -89,6 +90,46 @@ def run(cluster_counts: Tuple[int, ...] = (4, 8, 16)) -> PPT5Study:
             )
         )
     return PPT5Study(points=tuple(points))
+
+
+def headline_metrics(study: PPT5Study) -> List[HeadlineMetric]:
+    """The PPT5 verdict (pass requires rate retention >= 0.5) plus the
+    per-scale prefetch-stream numbers."""
+    metrics = [
+        HeadlineMetric(
+            name="rate_retention_largest_scale",
+            value=study.rate_retention(),
+            unit="ratio",
+            note="PPT5, per-CE stream rate at 16 clusters over as-built "
+            "(>= 0.5 passes)",
+        ),
+        HeadlineMetric(
+            name="ppt5_passed",
+            value=1.0 if study.passed else 0.0,
+            unit="bool",
+            target=1.0,
+            note="PPT5 verdict: the design rescales",
+        ),
+    ]
+    for point in study.points:
+        metrics.append(
+            HeadlineMetric(
+                name=f"latency_{point.clusters}cl",
+                value=point.latency,
+                unit="cycles",
+                note=f"PPT5, first-word latency at {point.clusters} clusters "
+                f"({point.network_stages}-stage network)",
+            )
+        )
+        metrics.append(
+            HeadlineMetric(
+                name=f"interarrival_{point.clusters}cl",
+                value=point.interarrival,
+                unit="cycles",
+                note=f"PPT5, interarrival at {point.clusters} clusters",
+            )
+        )
+    return metrics
 
 
 def render(study: PPT5Study) -> str:

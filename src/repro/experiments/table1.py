@@ -12,6 +12,7 @@ from typing import Dict, List, Tuple
 from repro.config import CedarConfig, DEFAULT_CONFIG
 from repro.core.report import format_table
 from repro.kernels.rank_update import RankUpdateVersion, measure_rank_update
+from repro.metrics.headline import HeadlineMetric, slugify
 
 #: The paper's Table 1, for side-by-side display.
 PAPER_VALUES: Dict[RankUpdateVersion, Tuple[float, float, float, float]] = {
@@ -48,6 +49,25 @@ def run(config: CedarConfig = DEFAULT_CONFIG) -> Table1Result:
         )
         measured[version] = row
     return Table1Result(mflops=measured)
+
+
+def headline_metrics(result: Table1Result) -> List[HeadlineMetric]:
+    """Every Table 1 cell, measured vs the paper's MFLOPS number."""
+    metrics = []
+    for version in RankUpdateVersion:
+        for clusters, measured, paper in zip(
+            CLUSTER_COUNTS, result.mflops[version], PAPER_VALUES[version]
+        ):
+            metrics.append(
+                HeadlineMetric(
+                    name=f"mflops_{slugify(version.value)}_{clusters}cl",
+                    value=measured,
+                    unit="MFLOPS",
+                    target=paper,
+                    note=f"Table 1, {version.value} at {clusters} cluster(s)",
+                )
+            )
+    return metrics
 
 
 def render(result: Table1Result) -> str:

@@ -4,9 +4,10 @@ improvement over automatable-with-prefetch-without-Cedar-synchronization."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.report import format_table
+from repro.metrics.headline import HeadlineMetric
 from repro.perfect.suite import code_names, get_profile, run_code
 from repro.perfect.targets import TARGETS
 from repro.perfect.versions import Version
@@ -45,6 +46,32 @@ def run() -> Table4Result:
             )
         )
     return Table4Result(rows=tuple(rows))
+
+
+def headline_metrics(result: Table4Result) -> List[HeadlineMetric]:
+    """Hand-optimized times and improvements against the paper's Table 4."""
+    metrics = []
+    for row in result.rows:
+        code = row.code.lower()
+        metrics.append(
+            HeadlineMetric(
+                name=f"hand_seconds_{code}",
+                value=row.hand_seconds,
+                unit="s",
+                target=row.paper_seconds,
+                note=f"Table 4, {row.code} hand-optimized time",
+            )
+        )
+        metrics.append(
+            HeadlineMetric(
+                name=f"hand_improvement_{code}",
+                value=row.improvement,
+                unit="ratio",
+                target=row.paper_improvement,
+                note=f"Table 4, {row.code} improvement over no-sync automatable",
+            )
+        )
+    return metrics
 
 
 def render(result: Table4Result) -> str:

@@ -8,10 +8,11 @@ stability (In <= 6): two on Cedar and the Cray 1, six on the Y-MP/8.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.baselines import CRAY_1, CRAY_YMP8
 from repro.core.report import format_table
+from repro.metrics.headline import HeadlineMetric, slugify
 from repro.core.stability import (
     STABILITY_THRESHOLD,
     instability_profile,
@@ -60,6 +61,40 @@ def run() -> Table5Result:
         for name, rates in ensembles.items()
     }
     return Table5Result(profiles=profiles, exclusions_needed=needed)
+
+
+#: Exclusions needed for workstation-level stability (In <= 6), per paper.
+PAPER_EXCLUSIONS = {"cedar": 2, "cray-1": 2, "cray-ymp8": 6}
+
+
+def headline_metrics(result: Table5Result) -> List[HeadlineMetric]:
+    """Every legible Table 5 cell plus the exclusion counts."""
+    metrics = []
+    for machine, profile in sorted(result.profiles.items()):
+        slug = slugify(machine)
+        for e in EXCLUSION_COUNTS:
+            measured = profile.get(e)
+            if measured is None:
+                continue
+            metrics.append(
+                HeadlineMetric(
+                    name=f"instability_{slug}_e{e}",
+                    value=measured,
+                    unit="In",
+                    target=PAPER_VALUES[machine].get(e),
+                    note=f"Table 5, In(13, {e}) on {machine}",
+                )
+            )
+        metrics.append(
+            HeadlineMetric(
+                name=f"exclusions_for_stability_{slug}",
+                value=float(result.exclusions_needed[machine]),
+                unit="codes",
+                target=float(PAPER_EXCLUSIONS[machine]),
+                note=f"Table 5, exclusions for In <= 6 on {machine}",
+            )
+        )
+    return metrics
 
 
 def render(result: Table5Result) -> str:

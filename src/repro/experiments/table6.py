@@ -8,11 +8,12 @@ count: Cedar automatable at P=32 (paper: 1 high, 9 intermediate,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from repro.baselines import CRAY_YMP8
 from repro.core.bands import BandCensus, census
 from repro.core.report import format_table
+from repro.metrics.headline import HeadlineMetric
 from repro.perfect.suite import run_suite
 from repro.perfect.versions import Version
 
@@ -42,6 +43,30 @@ def run() -> Table6Result:
         ymp=census(CRAY_YMP8.efficiencies(), CRAY_YMP8.processors),
         cedar_efficiencies=cedar,
     )
+
+
+def headline_metrics(result: Table6Result) -> List[HeadlineMetric]:
+    """All six Table 6 band counts, exact against the paper."""
+    metrics = []
+    for machine, label, paper in (
+        ("cedar", result.cedar, PAPER_CEDAR),
+        ("ymp", result.ymp, PAPER_YMP),
+    ):
+        for band, measured, target in zip(
+            ("high", "intermediate", "unacceptable"),
+            (label.high, label.intermediate, label.unacceptable),
+            paper,
+        ):
+            metrics.append(
+                HeadlineMetric(
+                    name=f"band_{band}_{machine}",
+                    value=float(measured),
+                    unit="codes",
+                    target=float(target),
+                    note=f"Table 6, {band} band on {machine}",
+                )
+            )
+    return metrics
 
 
 def render(result: Table6Result) -> str:

@@ -151,6 +151,9 @@ class PerformanceMonitor:
     FIRST_WORD_SIGNAL = "prefetch.first_word_latency"
     INTERARRIVAL_SIGNAL = "prefetch.interarrival"
     SOFTWARE_SIGNAL = "software.event"
+    #: Announced on the bus by :meth:`connect`, carrying the monitor itself,
+    #: so post-run collectors can find monitors built deep inside drivers.
+    CONNECTED_SIGNAL = "monitor.connected"
 
     def __init__(self, config: MonitorConfig) -> None:
         self.config = config
@@ -179,6 +182,7 @@ class PerformanceMonitor:
             self.SOFTWARE_SIGNAL,
             lambda event: self.tracer("software").post(*event),
         )
+        bus.publish(self.CONNECTED_SIGNAL, self)
 
     def tracer(self, name: str, cascade: int = 1) -> EventTracer:
         """Get or create a named event tracer."""
@@ -220,6 +224,33 @@ class PerformanceMonitor:
         interarrival = self.histogram("interarrival")
         for gap in handle.interarrival_times():
             interarrival.record(gap)
+
+    def histogram_summaries(self) -> Dict[str, Dict[str, float]]:
+        """{name: {count, mean, p90, max}} for every histogrammer.
+
+        Empty histograms report only their zero count, so collectors can
+        drain a monitor that never saw a completed prefetch.
+        """
+        summaries: Dict[str, Dict[str, float]] = {}
+        for name, histogram in sorted(self._histograms.items()):
+            if histogram.total == 0:
+                summaries[name] = {"count": 0}
+                continue
+            max_bin = max(histogram.counts())
+            summaries[name] = {
+                "count": histogram.total,
+                "mean": histogram.mean(),
+                "p90": float(histogram.percentile(0.9)),
+                "max": float(max_bin * histogram.bin_width),
+            }
+        return summaries
+
+    def tracer_summaries(self) -> Dict[str, Dict[str, int]]:
+        """{name: {events, dropped}} for every hardware event tracer."""
+        return {
+            name: {"events": len(tracer), "dropped": tracer.dropped}
+            for name, tracer in sorted(self._tracers.items())
+        }
 
     def latency_summary(self) -> Tuple[float, float]:
         """(mean first-word latency, mean interarrival) in cycles.

@@ -1,0 +1,74 @@
+"""Structured metrics on top of the trace bus, and the bench flight recorder.
+
+* :mod:`repro.metrics.registry` -- labeled counters, gauges, log-bucketed
+  histograms in a :class:`MetricsRegistry`.
+* :mod:`repro.metrics.collector` -- drain finished-run tracers and
+  performance monitors into a registry.
+* :mod:`repro.metrics.export` -- Prometheus text exposition (+ parser) and
+  JSONL exporters.
+* :mod:`repro.metrics.headline` -- the per-experiment declared metrics
+  (measured vs paper targets).
+* :mod:`repro.metrics.bench` -- ``BENCH_<n>.json`` snapshots and the
+  regression comparator behind ``cedar-repro bench``.
+"""
+
+from repro.metrics.headline import HeadlineMetric, slugify
+from repro.metrics.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    flat_series_name,
+)
+from repro.metrics.collector import (
+    MonitorCatcher,
+    collect_monitor,
+    collect_tracer,
+)
+from repro.metrics.export import (
+    jsonl_lines,
+    parse_prometheus,
+    prometheus_text,
+    write_jsonl,
+)
+from repro.metrics.bench import (
+    DEFAULT_TOLERANCES,
+    Finding,
+    RegressionReport,
+    bench_experiment,
+    build_snapshot,
+    compare_snapshots,
+    existing_snapshots,
+    latest_snapshot_path,
+    load_snapshot,
+    next_snapshot_index,
+    save_snapshot,
+)
+
+__all__ = [
+    "HeadlineMetric",
+    "slugify",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "flat_series_name",
+    "MonitorCatcher",
+    "collect_monitor",
+    "collect_tracer",
+    "jsonl_lines",
+    "parse_prometheus",
+    "prometheus_text",
+    "write_jsonl",
+    "DEFAULT_TOLERANCES",
+    "Finding",
+    "RegressionReport",
+    "bench_experiment",
+    "build_snapshot",
+    "compare_snapshots",
+    "existing_snapshots",
+    "latest_snapshot_path",
+    "load_snapshot",
+    "next_snapshot_index",
+    "save_snapshot",
+]

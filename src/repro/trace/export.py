@@ -142,9 +142,12 @@ def _group(component: str) -> str:
 def utilization_report(tracer: Tracer) -> str:
     """Per-component utilization and counter totals, as plain text.
 
-    Components are rolled up by their top-level name; utilization divides
-    total busy (span) cycles by wall cycles times the number of subunits, so
-    32 memory modules each busy half the time report as 50%.
+    Components are rolled up by their top-level name and listed by busy
+    cycles descending, so the report reads as a hot-spot ranking.  Two
+    rates are shown per group: ``%run`` is the group's share of all busy
+    cycles in the run (where did the simulated time go), and ``util``
+    divides busy cycles by wall cycles times the number of subunits, so 32
+    memory modules each busy half the time report as 50%.
     """
     elapsed = tracer.elapsed_by_epoch()
     wall = sum(elapsed.values())
@@ -168,18 +171,28 @@ def utilization_report(tracer: Tracer) -> str:
     )
     lines.append("")
     if groups:
-        lines.append("Component utilization (span busy-cycles / wall-cycles):")
-        header = f"  {'component':<14} {'subunits':>8} {'spans':>9} {'busy-cyc':>12} {'util':>8}"
+        total_busy = sum(group["busy"] for group in groups.values())
+        lines.append(
+            "Component utilization, hottest first "
+            "(span busy-cycles / wall-cycles):"
+        )
+        header = (
+            f"  {'component':<14} {'subunits':>8} {'spans':>9} "
+            f"{'busy-cyc':>12} {'%run':>7} {'util':>8}"
+        )
         lines.append(header)
-        for name in sorted(groups):
-            group = groups[name]
+        ranked = sorted(
+            groups.items(), key=lambda item: (-item[1]["busy"], item[0])
+        )
+        for name, group in ranked:
             subunits = len(group["subunits"])  # type: ignore[arg-type]
             busy_cycles = group["busy"]
+            share = (busy_cycles / total_busy * 100.0) if total_busy else 0.0
             capacity = wall * subunits
             util = (busy_cycles / capacity * 100.0) if capacity else 0.0
             lines.append(
                 f"  {name:<14} {subunits:>8} {group['spans']:>9} "
-                f"{busy_cycles:>12} {util:>7.1f}%"
+                f"{busy_cycles:>12} {share:>6.1f}% {util:>7.1f}%"
             )
         lines.append("")
 

@@ -135,3 +135,62 @@ class TestEnsemble:
     def test_from_results_rejects_empty(self):
         with pytest.raises(ValueError):
             ensemble_from_results([])
+
+
+class TestEdgeCases:
+    """Degenerate inputs: zero/negative times, empty sequences."""
+
+    def test_speedup_rejects_negative_serial(self):
+        with pytest.raises(ValueError, match="serial"):
+            speedup(-100.0, 25.0)
+
+    def test_speedup_rejects_zero_parallel(self):
+        with pytest.raises(ValueError, match="parallel"):
+            speedup(100.0, 0.0)
+
+    def test_mflops_rejects_negative_time(self):
+        with pytest.raises(ValueError, match="time"):
+            mflops(1e6, -2.0)
+
+    def test_mflops_rejects_negative_flops(self):
+        with pytest.raises(ValueError, match="flop"):
+            mflops(-1.0, 2.0)
+
+    def test_efficiency_of_zero_speedup(self):
+        assert efficiency(0.0, 8) == 0.0
+
+    def test_efficiency_rejects_negative_processors(self):
+        with pytest.raises(ValueError, match="processor"):
+            efficiency(1.0, -8)
+
+    def test_harmonic_mean_single_value(self):
+        assert harmonic_mean([7.0]) == pytest.approx(7.0)
+
+    def test_harmonic_mean_rejects_negative(self):
+        with pytest.raises(ValueError, match="positive"):
+            harmonic_mean([1.0, -3.0])
+
+    def test_harmonic_mean_accepts_tuple(self):
+        assert harmonic_mean((1.0, 3.0)) == pytest.approx(1.5)
+
+    @given(st.lists(st.floats(0.01, 1e4), min_size=1, max_size=20))
+    def test_harmonic_at_most_arithmetic(self, values):
+        assert harmonic_mean(values) <= sum(values) / len(values) + 1e-9
+
+    def test_code_result_zero_parallel_raises_on_access(self):
+        broken = CodeResult(
+            code="X", machine="cedar", processors=32,
+            serial_seconds=100.0, parallel_seconds=0.0,
+        )
+        with pytest.raises(ValueError):
+            broken.speedup
+        with pytest.raises(ValueError):
+            broken.mflops
+
+    def test_empty_ensemble_views(self):
+        ensemble = Ensemble(machine="cedar", processors=32)
+        assert len(ensemble) == 0
+        assert ensemble.codes == []
+        assert ensemble.rates() == {}
+        with pytest.raises(ValueError):
+            ensemble.harmonic_mean_mflops()

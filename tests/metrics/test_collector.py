@@ -1,0 +1,122 @@
+"""Tests for draining tracers and monitors into the registry."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.hardware.monitor import PerformanceMonitor
+from repro.metrics import (
+    MetricsRegistry,
+    MonitorCatcher,
+    collect_monitor,
+    collect_tracer,
+)
+from repro.trace import Tracer
+
+
+class TestCollectTracer:
+    def test_counters_spans_and_run_accounting(self):
+        tracer = Tracer(enabled=True)
+        tracer.set_clock(lambda: 0)
+        tracer.count("memory.m00", "requests_served", 10)
+        tracer.count("memory.m01", "requests_served", 5)
+        tracer.complete("memory.m00", "service", 0, 40)
+        tracer.complete("fwd", "packet", 10, 12)
+        registry = MetricsRegistry()
+        collect_tracer(registry, tracer)
+        flat = registry.as_flat_dict()
+        assert flat[
+            "sim_counter_total{component=memory.m00,counter=requests_served}"
+        ] == 10
+        assert flat["sim_busy_cycles{component=memory.m00}"] == 40
+        assert flat["sim_span_count{component=fwd}"] == 1
+        assert flat["sim_wall_cycles"] == 40
+        assert flat["sim_machine_runs"] == 1
+        assert flat["sim_trace_records"] == 2
+
+    def test_disabled_tracer_contributes_nothing(self):
+        """The registry must not require a recording tracer."""
+        tracer = Tracer(enabled=False)
+        tracer.count("memory", "requests")
+        tracer.complete("memory", "service", 0, 10)
+        registry = MetricsRegistry()
+        registry.gauge("fidelity_metric").set(42.0)  # driver-side value
+        collect_tracer(registry, tracer)
+        assert registry.as_flat_dict() == {"fidelity_metric": 42.0}
+
+
+class TestCollectMonitor:
+    def make_monitor(self) -> PerformanceMonitor:
+        monitor = PerformanceMonitor(DEFAULT_CONFIG.monitor)
+        histogram = monitor.histogram("first_word_latency")
+        for value in (8, 8, 9, 13):
+            histogram.record(value)
+        monitor.histogram("interarrival")  # empty: count only
+        tracer = monitor.tracer("software")
+        tracer.start()
+        tracer.post(5, "loop_start")
+        return monitor
+
+    def test_histogram_and_tracer_summaries(self):
+        registry = MetricsRegistry()
+        collect_monitor(registry, self.make_monitor())
+        flat = registry.as_flat_dict()
+        assert flat["monitor_histogram_count{histogram=first_word_latency}"] == 4
+        assert flat["monitor_histogram_mean{histogram=first_word_latency}"] == 9.5
+        assert flat["monitor_histogram_p90{histogram=first_word_latency}"] == 13
+        assert flat["monitor_histogram_max{histogram=first_word_latency}"] == 13
+        assert flat["monitor_histogram_count{histogram=interarrival}"] == 0
+        assert "monitor_histogram_mean{histogram=interarrival}" not in flat
+        assert flat["monitor_tracer_events{tracer=software}"] == 1
+        assert flat["monitor_tracer_dropped{tracer=software}"] == 0
+
+    def test_extra_labels_are_applied(self):
+        registry = MetricsRegistry()
+        collect_monitor(registry, self.make_monitor(), {"monitor": "0"})
+        flat = registry.as_flat_dict()
+        assert (
+            "monitor_histogram_count"
+            "{histogram=first_word_latency,monitor=0}" in flat
+        )
+
+
+class TestMonitorCatcher:
+    def test_catches_connects_even_when_recording_disabled(self):
+        bus = Tracer(enabled=False)
+        catcher = MonitorCatcher(bus)
+        monitor = PerformanceMonitor(DEFAULT_CONFIG.monitor)
+        monitor.connect(bus)
+        assert catcher.monitors == [monitor]
+
+    def test_collects_each_caught_monitor_with_index_label(self):
+        bus = Tracer(enabled=False)
+        catcher = MonitorCatcher(bus)
+        for _ in range(2):
+            monitor = PerformanceMonitor(DEFAULT_CONFIG.monitor)
+            monitor.connect(bus)
+            monitor.histogram("first_word_latency").record(8)
+        registry = MetricsRegistry()
+        assert catcher.collect_into(registry) == 2
+        flat = registry.as_flat_dict()
+        assert (
+            flat["monitor_histogram_count{histogram=first_word_latency,monitor=0}"]
+            == 1
+        )
+        assert (
+            flat["monitor_histogram_count{histogram=first_word_latency,monitor=1}"]
+            == 1
+        )
+
+    def test_ignores_non_monitor_payloads(self):
+        bus = Tracer(enabled=False)
+        catcher = MonitorCatcher(bus)
+        bus.publish(PerformanceMonitor.CONNECTED_SIGNAL, "not a monitor")
+        assert catcher.monitors == []
+
+    def test_table2_signals_still_reach_histograms(self):
+        """Connecting through the catcher's bus must not disturb Table 2."""
+        bus = Tracer(enabled=False)
+        MonitorCatcher(bus)
+        monitor = PerformanceMonitor(DEFAULT_CONFIG.monitor)
+        monitor.connect(bus)
+        bus.publish(PerformanceMonitor.FIRST_WORD_SIGNAL, 8)
+        assert monitor.histogram("first_word_latency").total == 1

@@ -1,0 +1,101 @@
+"""Tests for the Prometheus/JSONL exporters (repro.metrics.export)."""
+
+import json
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.metrics import (
+    MetricsRegistry,
+    jsonl_lines,
+    parse_prometheus,
+    prometheus_text,
+    write_jsonl,
+)
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter(
+        "sim_counter_total",
+        {"component": "memory.m00", "counter": "requests_served"},
+        help="trace-bus counter totals",
+    ).inc(684656)
+    registry.gauge("mflops", {"version": "GM/cache"}).set(208.2)
+    registry.gauge("mflops", {"version": "GM/pref"}).set(92.2)
+    histogram = registry.histogram("first_word_latency", help="Table 2")
+    for value in (8, 8, 9, 13, 27):
+        histogram.observe(value)
+    return registry
+
+
+class TestPrometheusRoundTrip:
+    def test_every_series_round_trips(self):
+        registry = populated_registry()
+        samples = parse_prometheus(prometheus_text(registry))
+        assert (
+            samples[
+                "sim_counter_total{component=memory.m00,counter=requests_served}"
+            ]
+            == 684656
+        )
+        assert samples["mflops{version=GM/cache}"] == 208.2
+        assert samples["mflops{version=GM/pref}"] == 92.2
+        # histogram: cumulative buckets, sum, count
+        assert samples["first_word_latency_count"] == 5
+        assert samples["first_word_latency_sum"] == 65
+        assert samples["first_word_latency_bucket{le=+Inf}"] == 5
+        # 8, 8, 9, 13 in [8, 16); 27 in [16, 32)
+        assert samples["first_word_latency_bucket{le=16}"] == 4
+        assert samples["first_word_latency_bucket{le=32}"] == 5
+
+    def test_help_and_type_lines_present(self):
+        text = prometheus_text(populated_registry())
+        assert "# HELP sim_counter_total trace-bus counter totals" in text
+        assert "# TYPE sim_counter_total counter" in text
+        assert "# TYPE mflops gauge" in text
+        assert "# TYPE first_word_latency histogram" in text
+
+    def test_counter_total_suffix_not_doubled(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total").inc(3)
+        text = prometheus_text(registry)
+        assert "events_total 3" in text
+        assert "events_total_total" not in text
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", {"path": 'a"b\\c'}).set(1)
+        samples = parse_prometheus(prometheus_text(registry))
+        assert samples == {'g{path=a"b\\c}': 1.0}
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+        assert parse_prometheus("") == {}
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(MetricsError, match="unparseable"):
+            parse_prometheus("not a metric line at all!")
+        with pytest.raises(MetricsError, match="value"):
+            parse_prometheus("metric_name not_a_number")
+
+
+class TestJsonl:
+    def test_lines_are_self_describing_json(self):
+        registry = populated_registry()
+        records = [json.loads(line) for line in jsonl_lines(registry)]
+        kinds = {(r["kind"], r["name"]) for r in records}
+        assert ("counter", "sim_counter_total") in kinds
+        assert ("gauge", "mflops") in kinds
+        assert ("histogram", "first_word_latency") in kinds
+        histogram = next(r for r in records if r["kind"] == "histogram")
+        assert histogram["count"] == 5
+        assert histogram["buckets"] == {"16": 4, "32": 1}
+
+    def test_write_jsonl(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        count = write_jsonl(populated_registry(), str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == count == 4
+        for line in lines:
+            json.loads(line)

@@ -67,3 +67,23 @@ class TestTrace:
         assert any(e["ph"] == "X" for e in doc["traceEvents"])
         # --out without --report skips the text report.
         assert "Trace report:" not in captured.out
+
+
+class TestRunOut:
+    def test_out_writes_single_json_document(self, tmp_path, capsys):
+        out_file = tmp_path / "results.json"
+        assert main(["run", "table6", "--out", str(out_file)]) == 0
+        captured = capsys.readouterr()
+        assert "running table6" in captured.err
+        assert "wrote 1 result(s)" in captured.err
+        assert captured.out == ""  # results go to the file, not stdout
+        payload = json.loads(out_file.read_text())
+        assert isinstance(payload, list)
+        assert payload[0]["experiment"] == "table6"
+
+    def test_unwritable_out_fails_before_running(self, tmp_path, capsys):
+        bad = tmp_path / "missing-dir" / "results.json"
+        assert main(["run", "table6", "--out", str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert "cannot write" in captured.err
+        assert "running" not in captured.err  # failed before any run

@@ -220,3 +220,43 @@ class TestMachineIntegration:
         self._run_machine(quiet)
         assert quiet.num_records == 0
         assert quiet.counter_totals() == {}
+
+
+class TestUtilizationRanking:
+    """The report ranks groups hottest-first with a %run share column."""
+
+    def make_tracer(self):
+        tracer = Tracer(enabled=True)
+        tracer.complete("fwd", "packet", 0, 30)
+        tracer.complete("memory.m00", "service", 0, 40)
+        tracer.complete("memory.m01", "service", 0, 20)
+        tracer.complete("engine", "event", 0, 10)
+        return tracer
+
+    def test_sorted_by_busy_cycles_descending(self):
+        report = utilization_report(self.make_tracer())
+        lines = [l for l in report.splitlines() if "%" in l and "util" not in l]
+        ranked = [line.split()[0] for line in lines]
+        assert ranked == ["memory", "fwd", "engine"]
+
+    def test_percent_of_run_column(self):
+        # busy: memory 60, fwd 30, engine 10 -> shares 60/30/10 of 100
+        report = utilization_report(self.make_tracer())
+        assert "hottest first" in report
+        rows = {
+            line.split()[0]: line.split()
+            for line in report.splitlines()
+            if "%" in line and "util" not in line
+        }
+        assert rows["memory"][4] == "60.0%"
+        assert rows["fwd"][4] == "30.0%"
+        assert rows["engine"][4] == "10.0%"
+        # util divides by wall * subunits: memory = 60 / (40 * 2)
+        assert rows["memory"][5] == "75.0%"
+
+    def test_equal_busy_breaks_ties_alphabetically(self):
+        tracer = Tracer(enabled=True)
+        tracer.complete("zeta", "work", 0, 10)
+        tracer.complete("alpha", "work", 0, 10)
+        report = utilization_report(tracer)
+        assert report.index("alpha") < report.index("zeta")
