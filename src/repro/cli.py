@@ -19,12 +19,16 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import cProfile
 import dataclasses
 import difflib
 import enum
+import io
 import json
+import multiprocessing
+import pstats
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import BenchError
 from repro.experiments.registry import (
@@ -59,6 +63,27 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="write results to FILE instead of stdout (implies --json)",
+    )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run independent experiments in N worker processes "
+        "(output order stays deterministic)",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="wrap each run in cProfile and print the hottest simulator "
+        "functions (forces --jobs 1)",
+    )
+    run.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="how many functions --profile reports (default 15)",
     )
     trace = sub.add_parser(
         "trace", help="run one experiment with machine-wide instrumentation"
@@ -145,6 +170,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit non-zero on warnings (throughput drift) too",
     )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="bench experiments in N worker processes; the snapshot is "
+        "byte-identical for any N (modulo self_profile wall-clock)",
+    )
     return parser
 
 
@@ -186,36 +219,129 @@ def _jsonable(value: object) -> object:
     return repr(value)
 
 
+def _profile_top(profiler: cProfile.Profile, top: int) -> List[Dict[str, object]]:
+    """The ``top`` hottest functions by total time, as JSON-safe records."""
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    stats.sort_stats("tottime")
+    rows: List[Dict[str, object]] = []
+    for func in stats.fcn_list[:top]:  # fcn_list is sorted by sort_stats
+        cc, nc, tt, ct, _ = stats.stats[func]
+        filename, line, name = func
+        rows.append(
+            {
+                "function": f"{filename}:{line}({name})",
+                "ncalls": nc,
+                "tottime": round(tt, 6),
+                "cumtime": round(ct, 6),
+            }
+        )
+    return rows
+
+
+def _render_profile(rows: List[Dict[str, object]]) -> str:
+    lines = [f"{'tottime':>10s} {'cumtime':>10s} {'ncalls':>12s}  function"]
+    for row in rows:
+        lines.append(
+            f"{row['tottime']:10.3f} {row['cumtime']:10.3f} "
+            f"{row['ncalls']:12d}  {row['function']}"
+        )
+    return "\n".join(lines)
+
+
+def _run_worker(key: str) -> Tuple[str, str, object]:
+    """Worker-process entry: run one experiment, return rendered + JSON data."""
+    experiment = EXPERIMENTS[key]
+    result = experiment.run()
+    return key, experiment.render(result), _jsonable(result)
+
+
+def _run_one(key: str, args: argparse.Namespace) -> Dict[str, object]:
+    """Run ``key`` in-process, honouring --profile."""
+    experiment = EXPERIMENTS[key]
+    profiler = None
+    if args.profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
+    result = experiment.run()
+    if profiler is not None:
+        profiler.disable()
+    record: Dict[str, object] = {
+        "experiment": key,
+        "description": experiment.description,
+        "result": _jsonable(result),
+        "rendered": experiment.render(result),
+    }
+    if profiler is not None:
+        record["profile"] = _profile_top(profiler, args.top)
+    return record
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     keys = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for key in keys:
         if key not in EXPERIMENTS:
             return _unknown_experiment(key)
-    if not args.json and not args.out:
-        for key in keys:
-            print(run_experiment(key))
-            print()
-        return 0
+    if args.jobs > 1 and args.profile:
+        print("--profile forces --jobs 1", file=sys.stderr)
+        args.jobs = 1
     if args.out:
         try:  # fail on an unwritable path before the minutes-long runs
             open(args.out, "w", encoding="utf-8").close()
         except OSError as error:
             print(f"cannot write {args.out}: {error}", file=sys.stderr)
             return 2
+
+    parallel = args.jobs > 1 and len(keys) > 1
+    if not args.json and not args.out and not args.profile:
+        if parallel:
+            # Collect everything, then print in key order: stdout is
+            # byte-identical to the sequential run.
+            rendered: Dict[str, str] = {}
+            with multiprocessing.Pool(
+                processes=min(args.jobs, len(keys)), maxtasksperchild=1
+            ) as pool:
+                for key, text, _ in pool.imap_unordered(_run_worker, keys):
+                    rendered[key] = text
+            for key in keys:
+                print(rendered[key])
+                print()
+        else:
+            for key in keys:
+                print(run_experiment(key))
+                print()
+        return 0
+
     results = []
-    for key in keys:
-        if args.out:
-            print(f"running {key} ...", file=sys.stderr)
-        experiment = EXPERIMENTS[key]
-        result = experiment.run()
-        results.append(
-            {
-                "experiment": key,
-                "description": experiment.description,
-                "result": _jsonable(result),
-                "rendered": experiment.render(result),
-            }
-        )
+    if parallel:
+        records: Dict[str, Dict[str, object]] = {}
+        with multiprocessing.Pool(
+            processes=min(args.jobs, len(keys)), maxtasksperchild=1
+        ) as pool:
+            for key, text, data in pool.imap_unordered(_run_worker, keys):
+                if args.out:
+                    print(f"finished {key}", file=sys.stderr)
+                records[key] = {
+                    "experiment": key,
+                    "description": EXPERIMENTS[key].description,
+                    "result": data,
+                    "rendered": text,
+                }
+        results = [records[key] for key in keys]
+    else:
+        for key in keys:
+            if args.out:
+                print(f"running {key} ...", file=sys.stderr)
+            results.append(_run_one(key, args))
+
+    if args.profile and not args.json and not args.out:
+        for record in results:
+            print(record["rendered"])
+            print()
+            print(f"-- hottest functions ({record['experiment']}) --")
+            print(_render_profile(record["profile"]))
+            print()
+        return 0
+
     document = json.dumps(results, indent=2)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as stream:
@@ -294,13 +420,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"benching {key} ...", file=sys.stderr)
 
         snapshot = bench_mod.build_snapshot(
-            keys, index, trace=not args.no_trace, progress=progress
+            keys,
+            index,
+            trace=not args.no_trace,
+            progress=progress,
+            jobs=max(1, args.jobs),
         )
         bench_mod.save_snapshot(snapshot, out_path)
     except (BenchError, OSError) as error:
         print(str(error), file=sys.stderr)
         return 2
     print(f"wrote snapshot {index} ({len(keys)} experiment(s)) to {out_path}")
+    for key in keys:  # the simulator-throughput headline, per experiment
+        profile = snapshot["experiments"][key].get("self_profile", {})
+        rate = profile.get("events_per_sec")
+        if rate:
+            print(
+                f"  {key}: {rate:,.0f} events/s "
+                f"({profile['wall_seconds']:.1f}s wall)"
+            )
     if baseline is None:
         return 0
     report = bench_mod.compare_snapshots(baseline, snapshot, tolerances)

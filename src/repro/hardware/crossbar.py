@@ -11,12 +11,26 @@ side of every port.  We fold each output queue into the downstream stage's
 input queue (doubling its capacity) so that a hop costs one arbitration
 rather than two; the total buffering per port pair and the back-pressure
 behaviour are preserved.
+
+Fast path: every input queue reports head changes to the switch, which keeps
+a per-output count of head packets routed to that output (``_heads_for``).
+A wake of an arbiter with no head routed to it is observationally a no-op --
+the round-robin scan would find nothing, count nothing and register
+nothing -- so masked wakes skip straight past it in O(1).  Scans that *can*
+see a candidate run exactly as before (including re-scans that re-count a
+port conflict), so arbitration order, port-conflict counts and all timing
+are byte-identical to the unmasked implementation (``CEDAR_FASTPATH=0``
+switches the masking off to prove it).  The deferred post-pop re-scan event
+is always scheduled, exactly as the plain implementation does: whether it
+finds work is only known at dispatch time, after same-cycle arrivals.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable, List, Optional
 
+from repro.hardware import fastpath
 from repro.hardware.engine import Engine
 from repro.hardware.packet import Packet
 from repro.hardware.queueing import BoundedWordQueue
@@ -26,6 +40,21 @@ RouteFunction = Callable[[Packet], int]
 
 class _OutputArbiter:
     """Round-robin arbiter for one crossbar output."""
+
+    __slots__ = (
+        "engine",
+        "switch",
+        "output_index",
+        "cycles_per_word",
+        "_busy",
+        "_next_input",
+        "_in_flight",
+        "_sink",
+        "_fast",
+        "_heads",
+        "_queues",
+        "_head_route",
+    )
 
     def __init__(
         self,
@@ -42,69 +71,132 @@ class _OutputArbiter:
         self._next_input = 0
         self._in_flight: Optional[Packet] = None
         self._sink: Optional[BoundedWordQueue] = None
+        # Hot-path prebinds: wake()/_select_input() run once or more per
+        # event on the network's critical path.
+        self._fast = switch._fast
+        self._heads = switch._heads_for
+        self._queues = switch.input_queues
+        self._head_route = switch._head_route
 
     def attach(self, sink: BoundedWordQueue) -> None:
         self._sink = sink
 
     def wake(self) -> None:
         """Try to start a transfer; called on input pushes and sink drains."""
-        if self._busy or self._sink is None:
+        sink = self._sink
+        if self._busy or sink is None:
             return
-        chosen = self._select_input()
-        if chosen is None:
-            return
+        switch = self.switch
+        queues = self._queues
+        radix = switch.radix
+        start = self._next_input
+        chosen = -1
+        if self._fast:
+            # The head-route array already holds route(head) per input
+            # (None when empty), so the scan needs no head()/route() calls
+            # until it lands on a match -- same order, same outcome.  The
+            # scan is inlined here because wake() fires for every push on
+            # the network's critical path.
+            output_index = self.output_index
+            if not self._heads[output_index]:
+                return  # no head routed here: the scan could find nothing
+            head_route = self._head_route
+            for offset in range(radix):
+                index = start + offset
+                if index >= radix:
+                    index -= radix
+                if head_route[index] != output_index:
+                    continue
+                head = queues[index]._packets[0]
+                if head.words <= sink.capacity_words - sink._used_words:
+                    chosen = index
+                    break
+                self._count_conflict(sink)
+                return
+            if chosen < 0:
+                return
+        else:
+            selected = self._select_input()
+            if selected is None:
+                return
+            chosen = selected
         self._busy = True
-        packet = self.switch.input_queues[chosen].pop()
-        self._next_input = (chosen + 1) % len(self.switch.input_queues)
+        packet = queues[chosen].pop()
+        self._next_input = (chosen + 1) % radix
         self._in_flight = packet
-        self.engine.schedule(
-            max(1, packet.words * self.cycles_per_word), self._finish
+        delay = packet.words * self.cycles_per_word
+        # Inlined Engine.schedule_after: two heap entries per transfer make
+        # this the single hottest scheduling site in the machine.
+        engine = self.engine
+        now = engine._now
+        sequence = engine._sequence
+        event_queue = engine._queue
+        heappush(
+            event_queue,
+            [now + (delay if delay > 0 else 1), next(sequence), self._finish],
         )
         # Popping may have exposed a new head packet bound for a sibling
         # output; let the other arbiters re-scan (deferred to avoid deep
-        # recursion chains through listener callbacks).
-        self.engine.schedule(0, self.switch.wake_all)
+        # recursion chains through listener callbacks).  Never elided: a
+        # packet arriving later in this same cycle can give the re-scan
+        # real work (and conflict counts) only visible at dispatch time.
+        heappush(event_queue, [now, next(sequence), switch.wake_all])
 
     def _select_input(self) -> Optional[int]:
         """Next input (round-robin) whose head routes here and fits downstream."""
-        queues = self.switch.input_queues
-        assert self._sink is not None
-        for offset in range(len(queues)):
-            index = (self._next_input + offset) % len(queues)
+        switch = self.switch
+        queues = switch.input_queues
+        sink = self._sink
+        output_index = self.output_index
+        radix = switch.radix
+        start = self._next_input
+        assert sink is not None
+        route = switch.route
+        for offset in range(radix):
+            index = start + offset
+            if index >= radix:
+                index -= radix
             head = queues[index].head()
-            if head is None:
+            if head is None or route(head) != output_index:
                 continue
-            if self.switch.route(head) != self.output_index:
-                continue
-            if self._sink.can_accept(head):
+            if sink.can_accept(head):
                 return index
-            # Head routed here but downstream is full: wait for space.  The
-            # space waiter re-wakes this arbiter, which re-scans fairly.
-            trace = self.switch.trace
-            if trace is not None:
-                trace.count(self.switch.name or "crossbar", "port_conflicts")
-            self._sink.wait_for_space(self.wake)
+            self._count_conflict(sink)
             return None
         return None
 
+    def _count_conflict(self, sink: BoundedWordQueue) -> None:
+        # Head routed here but downstream is full: wait for space.  The
+        # space waiter re-wakes this arbiter, which re-scans fairly.  Every
+        # re-scan that hits the full sink counts another conflict, exactly
+        # like the plain implementation.
+        totals = self.switch._trace_totals
+        if totals is not None:
+            totals["port_conflicts"] = totals.get("port_conflicts", 0) + 1
+        sink.wait_for_space(self.wake)
+
     def _finish(self) -> None:
         packet = self._in_flight
-        assert packet is not None and self._sink is not None
+        sink = self._sink
+        assert packet is not None and sink is not None
         # Space was checked before the transfer started and only this
         # arbiter pushes into its sink slot contribution, but a merged sink
         # queue can be shared with other switches' arbiters -- re-check.
-        if self._sink.can_accept(packet):
-            self._sink.push(packet)
+        if packet.words <= sink.capacity_words - sink._used_words:
+            sink.push(packet)
             self._in_flight = None
             self._busy = False
-            trace = self.switch.trace
-            if trace is not None:
-                name = self.switch.name or "crossbar"
-                trace.count(name, "packets_forwarded")
-                trace.count(name, "words_forwarded", packet.words)
+            totals = self.switch._trace_totals
+            if totals is not None:
+                totals["packets_forwarded"] = (
+                    totals.get("packets_forwarded", 0) + 1
+                )
+                totals["words_forwarded"] = (
+                    totals.get("words_forwarded", 0) + packet.words
+                )
             self.wake()
         else:
-            self._sink.wait_for_space(self._finish)
+            sink.wait_for_space(self._finish)
 
 
 class CrossbarSwitch:
@@ -129,6 +221,25 @@ class CrossbarSwitch:
         #: Enabled trace bus or None; a single None-check per event keeps the
         #: disabled path free (this is the hottest component in the machine).
         self.trace = tracer.if_enabled() if tracer is not None else None
+        #: Pre-bound counter set: the dispatch-critical methods accumulate
+        #: into it directly instead of re-resolving component dicts per event.
+        self._trace_counters = (
+            self.trace.counters(name or "crossbar")
+            if self.trace is not None
+            else None
+        )
+        #: The counter set's raw totals dict; the per-event sites bump it
+        #: directly (same arithmetic as ``CounterSet.add``, minus the call).
+        self._trace_totals = (
+            self._trace_counters.totals
+            if self._trace_counters is not None
+            else None
+        )
+        self._fast = fastpath.enabled()
+        #: How many input-queue heads currently route to each output.
+        self._heads_for: List[int] = [0] * radix
+        #: Route of each input queue's head packet (None when empty).
+        self._head_route: List[Optional[int]] = [None] * radix
         self.input_queues: List[BoundedWordQueue] = [
             BoundedWordQueue(queue_words, name=f"{name}.in[{i}]")
             for i in range(radix)
@@ -136,16 +247,46 @@ class CrossbarSwitch:
         self.arbiters: List[_OutputArbiter] = [
             _OutputArbiter(engine, self, o, cycles_per_word) for o in range(radix)
         ]
-        for queue in self.input_queues:
-            queue.add_item_listener(self._on_arrival)
+        for index, queue in enumerate(self.input_queues):
+            queue.set_head_listener(self._make_head_listener(index, queue))
+            queue.add_item_listener(self.wake_all)
 
-    def _on_arrival(self) -> None:
-        self.wake_all()
+    def _make_head_listener(
+        self, index: int, queue: BoundedWordQueue
+    ) -> Callable[[], None]:
+        """Closure that maintains the head-route masks for one input queue.
+
+        Fired by the queue on any head change; a closure over the mask
+        arrays (rather than a bound method taking the index) because it
+        runs once per push-into-empty and once per pop.
+        """
+        packets = queue._packets
+        route = self.route
+        head_route = self._head_route
+        heads_for = self._heads_for
+
+        def head_changed() -> None:
+            new_route = route(packets[0]) if packets else None
+            old_route = head_route[index]
+            if new_route == old_route:
+                return
+            head_route[index] = new_route
+            if old_route is not None:
+                heads_for[old_route] -= 1
+            if new_route is not None:
+                heads_for[new_route] += 1
+
+        return head_changed
 
     def wake_all(self) -> None:
         """Give every output arbiter a chance to pick up a head packet."""
-        for arbiter in self.arbiters:
-            arbiter.wake()
+        if self._fast:
+            for count, arbiter in zip(self._heads_for, self.arbiters):
+                if count and not arbiter._busy:
+                    arbiter.wake()
+        else:
+            for arbiter in self.arbiters:
+                arbiter.wake()
 
     def connect_output(self, output_index: int, sink: BoundedWordQueue) -> None:
         """Wire output ``output_index`` into a downstream queue."""

@@ -1,0 +1,41 @@
+"""Global switch for the simulator's behavior-preserving fast paths.
+
+The engine's batched dispatch loop and the hot components' wake-slimming
+(crossbar head-route masks, skipped no-op wake events) are *observationally
+equivalent* to the straightforward implementations: every simulated result,
+machine counter and monitor histogram is byte-identical either way.  The only
+visible difference is the simulator's own self-profile (wall clock, engine
+dispatch counts).
+
+This module is the single place that equivalence claim can be switched off --
+``CEDAR_FASTPATH=0`` in the environment, or :func:`set_enabled` from tests --
+so the determinism suite can run both variants against each other.
+Components snapshot the flag at construction time; flipping it does not
+affect machines that already exist.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def _from_env() -> bool:
+    return os.environ.get("CEDAR_FASTPATH", "1").strip().lower() not in (
+        "0", "off", "false", "no",
+    )
+
+
+_enabled = _from_env()
+
+
+def enabled() -> bool:
+    """Whether newly constructed engines/components use the fast paths."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> bool:
+    """Set the flag (for tests); returns the previous value."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous

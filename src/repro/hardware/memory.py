@@ -20,6 +20,9 @@ from repro.hardware.packet import Packet, PacketKind
 from repro.hardware.queueing import BoundedWordQueue
 from repro.hardware.sync_processor import SyncProcessor
 
+#: Lower-case span labels, resolved once instead of per-request.
+_KIND_NAMES = {kind: kind.name.lower() for kind in PacketKind}
+
 
 def module_for_address(address: int, num_modules: int) -> int:
     """Module serving a word address (double-word interleave)."""
@@ -48,10 +51,16 @@ class MemoryModule:
         self.reverse = reverse
         self.trace = tracer.if_enabled() if tracer is not None else None
         self._trace_component = f"memory.m{index:02d}"
+        self._trace_counters = (
+            self.trace.counters(self._trace_component)
+            if self.trace is not None
+            else None
+        )
         self.sync = SyncProcessor(tracer=tracer)
         self._sync_handler = sync_handler
         self._busy = False
         self._pending_reply: Optional[Packet] = None
+        self._in_service: Optional[Packet] = None
         self.requests_served = 0
         self.busy_cycles = 0
         forward_queue.add_item_listener(self._wake)
@@ -59,7 +68,7 @@ class MemoryModule:
     def _wake(self) -> None:
         if self._busy or self._pending_reply is not None:
             return
-        if self.forward_queue.head() is None:
+        if not self.forward_queue._packets:
             return
         self._busy = True
         request = self.forward_queue.pop()
@@ -68,12 +77,16 @@ class MemoryModule:
         if self.trace is not None:
             now = self.engine.now
             self.trace.complete(
-                self._trace_component, request.kind.name.lower(),
+                self._trace_component, _KIND_NAMES[request.kind],
                 now, now + service, address=request.address,
             )
-            self.trace.count(self._trace_component, "requests_served")
-            self.trace.count(self._trace_component, "busy_cycles", service)
-        self.engine.schedule(service, lambda: self._complete(request))
+            counters = self._trace_counters
+            counters.add("requests_served")
+            counters.add("busy_cycles", service)
+        # The in-service request rides on the module (one request in service
+        # at a time) rather than in a per-request lambda.
+        self._in_service = request
+        self.engine.schedule_after(service, self._complete)
 
     def _service_cycles(self, request: Packet) -> int:
         cycles = self.config.module_cycle_time * max(1, request.payload_words or 1)
@@ -81,7 +94,10 @@ class MemoryModule:
             cycles += self.sync_config.operate_cycles
         return cycles
 
-    def _complete(self, request: Packet) -> None:
+    def _complete(self) -> None:
+        request = self._in_service
+        assert request is not None
+        self._in_service = None
         self.requests_served += 1
         reply = self._build_reply(request)
         self._busy = False
@@ -96,7 +112,7 @@ class MemoryModule:
         # latency stays at the paper's 8-cycle minimum: 2 forward stages +
         # 3-cycle module + 1 handoff + 2 reverse stages.
         self._pending_reply = reply
-        self.engine.schedule(1, self._retry_reply)
+        self.engine.schedule_after(1, self._retry_reply)
 
     def _build_reply(self, request: Packet) -> Optional[Packet]:
         now = self.engine.now

@@ -17,6 +17,7 @@ network Cedar used.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
 from repro.config import NetworkConfig
@@ -56,6 +57,10 @@ class OmegaNetwork:
         self.name = name
         self._tracer = tracer
         self.trace = tracer.if_enabled() if tracer is not None else None
+        # Pre-bound counter set for the injection/delivery hot paths.
+        self._trace_counters = (
+            self.trace.counters(name) if self.trace is not None else None
+        )
         self._injections = 0
         self.radix = config.switch_radix
         self.num_stages = 1
@@ -112,12 +117,21 @@ class OmegaNetwork:
             queue = BoundedWordQueue(queue_words, name=f"{self.name}.out[{line}]")
             self.stages[last][sw].connect_output(port, queue)
             self._delivery_queues.append(queue)
+        # Entry queues are looked up on every injection attempt; resolve the
+        # stage-0 switch arithmetic once per line instead of per packet.
+        self._entry_queues: List[BoundedWordQueue] = []
+        for line in range(self.num_lines):
+            sw, index = self._switch_for(0, line)
+            self._entry_queues.append(self.stages[0][sw].input_queues[index])
 
     def _router(self, digit_position: int) -> Callable[[Packet], int]:
+        # route() runs once per packet per arbitration scan -- one of the
+        # hottest closures in the simulator -- so hoist the power out.
         radix = self.radix
+        base = radix**digit_position
 
         def route(packet: Packet) -> int:
-            return _digit(packet.destination, digit_position, radix)
+            return (packet.destination // base) % radix
 
         return route
 
@@ -162,31 +176,36 @@ class OmegaNetwork:
             raise ConfigurationError(f"port {port} already has a sink")
         self._sinks[port] = handler
 
+        counters = self._trace_counters
+        engine = self.engine
+
         def drain() -> None:
-            while queue.head() is not None:
+            while queue._packets:
                 packet = queue.pop()
-                if self.trace is not None:
-                    self.trace.count(self.name, "packets_delivered")
-                self.engine.schedule(0, lambda p=packet: handler(p))
+                if counters is not None:
+                    counters.add("packets_delivered")
+                # Delivery stays deferred: handlers may re-enter the network.
+                # partial() dispatches without an intermediate lambda frame.
+                engine.schedule_after(0, partial(handler, packet))
 
         queue.add_item_listener(drain)
 
     def entry_queue(self, port: int) -> BoundedWordQueue:
         """The first-stage input queue fed by source ``port``."""
-        sw, index = self._switch_for(0, port)
-        return self.stages[0][sw].input_queues[index]
+        return self._entry_queues[port]
 
     def try_inject(self, port: int, packet: Packet) -> bool:
         """Offer a packet at a source port; False when the entry queue is full."""
-        queue = self.entry_queue(port)
+        queue = self._entry_queues[port]
+        counters = self._trace_counters
         if not queue.can_accept(packet):
-            if self.trace is not None:
-                self.trace.count(self.name, "injection_rejections")
+            if counters is not None:
+                counters.add("injection_rejections")
             return False
         queue.push(packet)
-        if self.trace is not None:
-            self.trace.count(self.name, "packets_injected")
-            self.trace.count(self.name, "words_injected", packet.words)
+        if counters is not None:
+            counters.add("packets_injected")
+            counters.add("words_injected", packet.words)
             # Sample the buffered-word gauge sparsely: a full occupancy scan
             # per injection would dominate the traced run.
             self._injections += 1

@@ -123,6 +123,17 @@ class PrefetchUnit:
         self._memory_port_of = memory_port_of
         self.trace = tracer.if_enabled() if tracer is not None else None
         self._trace_component = f"prefetch.ce{port:02d}"
+        self._trace_counters = (
+            self.trace.counters(self._trace_component)
+            if self.trace is not None
+            else None
+        )
+        # The issue engine ticks at a fixed cadence (one request per
+        # issue_interval_cycles); a recurring event re-arms by reusing its
+        # heap entry instead of paying schedule() validation per word.
+        self._issue_tick = engine.recurring(
+            config.issue_interval_cycles, self._issue_next
+        )
         self._armed: Optional[Dict[str, int]] = None
         self._active: Optional[PrefetchHandle] = None
         self._next_index = 0
@@ -188,8 +199,8 @@ class PrefetchUnit:
         address = handle.address_of(index)
         if index > 0 and self._crosses_page(handle.address_of(index - 1), address):
             self.page_suspensions += 1
-            if self.trace is not None:
-                self.trace.count(self._trace_component, "page_suspensions")
+            if self._trace_counters is not None:
+                self._trace_counters.add("page_suspensions")
             self.engine.schedule(PAGE_RESUME_CYCLES, lambda: self._issue_word(index))
             return
         self._issue_word(index)
@@ -212,9 +223,9 @@ class PrefetchUnit:
             handle.issue_cycles[index] = self.engine.now
             self._next_index = index + 1
             self._outstanding += 1
-            if self.trace is not None:
-                self.trace.count(self._trace_component, "requests_issued")
-            self.engine.schedule(self.config.issue_interval_cycles, self._issue_next)
+            if self._trace_counters is not None:
+                self._trace_counters.add("requests_issued")
+            self._issue_tick.schedule()
         else:
             stall_start = self.engine.now
             self._on_send_space(
@@ -224,8 +235,8 @@ class PrefetchUnit:
     def _retry_issue(self, index: int, stall_start: int) -> None:
         stalled = self.engine.now - stall_start
         self.network_stall_cycles += stalled
-        if self.trace is not None:
-            self.trace.count(self._trace_component, "network_stall_cycles", stalled)
+        if self._trace_counters is not None:
+            self._trace_counters.add("network_stall_cycles", stalled)
         self._issue_word(index)
 
     def _crosses_page(self, prev_address: int, address: int) -> bool:
@@ -241,7 +252,7 @@ class PrefetchUnit:
             return  # the buffer was invalidated by a newer fire()
         handle.record_arrival(index, self.engine.now)
         if self.trace is not None:
-            self.trace.count(self._trace_component, "buffer_words_filled")
+            self._trace_counters.add("buffer_words_filled")
             if handle.words_arrived % 32 == 1:
                 self.trace.sample(
                     self._trace_component, "buffer_fill_words",

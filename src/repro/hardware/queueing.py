@@ -9,7 +9,7 @@ and a link forwards one word per cycle.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional
+from typing import Callable, Deque, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.hardware.engine import Engine
@@ -33,7 +33,12 @@ class BoundedWordQueue:
         self.name = name
         self._packets: Deque[Packet] = deque()
         self._used_words = 0
-        self._item_listeners: List[Notification] = []
+        # A tuple snapshot: push() iterates it directly (no per-push copy);
+        # add_item_listener rebuilds it, so a listener registered during a
+        # push is first called on the next push -- the same semantics the
+        # old copy-then-iterate list gave.
+        self._item_listeners: Tuple[Notification, ...] = ()
+        self._head_listener: Optional[Notification] = None
         self._space_waiters: Deque[Notification] = deque()
 
     def __len__(self) -> int:
@@ -56,29 +61,52 @@ class BoundedWordQueue:
 
     def push(self, packet: Packet) -> None:
         """Enqueue; the caller must have checked :meth:`can_accept`."""
-        if not self.can_accept(packet):
+        words = packet.words
+        if words > self.capacity_words - self._used_words:
             raise SimulationError(
                 f"queue {self.name or id(self)} overflow: "
-                f"{packet.words} words into {self.free_words} free"
+                f"{words} words into {self.free_words} free"
             )
-        self._packets.append(packet)
-        self._used_words += packet.words
-        for listener in list(self._item_listeners):
+        packets = self._packets
+        packets.append(packet)
+        self._used_words += words
+        if len(packets) == 1 and self._head_listener is not None:
+            self._head_listener()
+        for listener in self._item_listeners:
             listener()
 
     def pop(self) -> Packet:
         """Dequeue the head packet and wake one blocked upstream writer."""
-        if not self._packets:
+        packets = self._packets
+        if not packets:
             raise SimulationError(f"pop from empty queue {self.name or id(self)}")
-        packet = self._packets.popleft()
+        packet = packets.popleft()
         self._used_words -= packet.words
+        if self._head_listener is not None:
+            self._head_listener()
         if self._space_waiters:
             self._space_waiters.popleft()()
         return packet
 
     def add_item_listener(self, listener: Notification) -> None:
         """Call ``listener`` after every push (permanent subscription)."""
-        self._item_listeners.append(listener)
+        self._item_listeners += (listener,)
+
+    def set_head_listener(self, listener: Optional[Notification]) -> None:
+        """Call ``listener`` whenever the head packet changes.
+
+        Fires on a push into an empty queue and on every pop (the head
+        becomes the next packet, or None), *before* item listeners and
+        space waiters run -- so derived head state (the crossbar's
+        head-route masks) is consistent by the time anyone reacts.  One
+        listener per queue: only the queue's owning component may observe
+        head changes.
+        """
+        if listener is not None and self._head_listener is not None:
+            raise SimulationError(
+                f"queue {self.name or id(self)} already has a head listener"
+            )
+        self._head_listener = listener
 
     def wait_for_space(self, waiter: Notification) -> None:
         """Call ``waiter`` once, the next time words are freed."""

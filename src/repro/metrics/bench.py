@@ -28,7 +28,9 @@ exits non-zero so CI can gate on it.
 
 from __future__ import annotations
 
+import gc
 import json
+import multiprocessing
 import os
 import re
 import time
@@ -84,10 +86,23 @@ def bench_experiment(key: str, trace: bool = True) -> Dict[str, object]:
     experiment = get_experiment(key)
     tracer = Tracer(enabled=trace)
     catcher = MonitorCatcher(tracer)
+    # Pause the cyclic garbage collector around the timed region (the same
+    # policy as ``timeit``): reference counting still reclaims everything
+    # acyclic immediately, while collector pauses -- which otherwise fire
+    # thousands of times across a multi-million-event run -- stop eating
+    # into the measured simulator throughput.  The deferred full collect
+    # below runs outside the timing and bounds memory between experiments.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
     start = time.perf_counter()
-    with tracing(tracer):
-        result = experiment.run()
-    wall_seconds = time.perf_counter() - start
+    try:
+        with tracing(tracer):
+            result = experiment.run()
+        wall_seconds = time.perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        gc.collect()
 
     fidelity = [metric.as_dict() for metric in experiment.headline(result)]
 
@@ -97,14 +112,17 @@ def bench_experiment(key: str, trace: bool = True) -> Dict[str, object]:
     machine = registry.as_flat_dict()
 
     busy = tracer.busy_cycles()
+    totals = tracer.counter_totals()
     events = sum(
-        counters.get("events_dispatched", 0)
-        for counters in tracer.counter_totals().values()
+        counters.get("events_dispatched", 0) for counters in totals.values()
     )
     profile: Dict[str, object] = {"wall_seconds": wall_seconds}
     if events:
         profile["events_processed"] = events
         profile["events_per_sec"] = events / wall_seconds if wall_seconds else 0.0
+    skipped = totals.get("engine", {}).get("idle_cycles_skipped", 0)
+    if skipped:
+        profile["idle_cycles_skipped"] = skipped
     if busy:
         total_busy = sum(busy.values())
         by_group: Dict[str, int] = {}
@@ -122,18 +140,45 @@ def bench_experiment(key: str, trace: bool = True) -> Dict[str, object]:
     }
 
 
+def _bench_worker(task: Tuple[str, bool]) -> Tuple[str, Dict[str, object]]:
+    """Worker-process entry: run one experiment, return its section."""
+    key, trace = task
+    return key, bench_experiment(key, trace=trace)
+
+
 def build_snapshot(
     keys: Sequence[str],
     snapshot_index: int,
     trace: bool = True,
     progress=None,
+    jobs: int = 1,
 ) -> Dict[str, object]:
-    """Run ``keys`` and assemble the full snapshot document."""
+    """Run ``keys`` and assemble the full snapshot document.
+
+    With ``jobs > 1`` experiments run in worker processes.  Each experiment
+    is independent (its own engine, tracer and monitors), and sections are
+    assembled in the caller's key order -- never completion order -- so the
+    snapshot is byte-identical for any job count, modulo the wall-clock
+    numbers in ``self_profile``.
+    """
     experiments: Dict[str, object] = {}
-    for key in keys:
-        if progress is not None:
-            progress(key)
-        experiments[key] = bench_experiment(key, trace=trace)
+    if jobs > 1 and len(keys) > 1:
+        with multiprocessing.Pool(
+            processes=min(jobs, len(keys)), maxtasksperchild=1
+        ) as pool:
+            sections = {}
+            tasks = [(key, trace) for key in keys]
+            for key, section in pool.imap_unordered(_bench_worker, tasks):
+                if progress is not None:
+                    progress(key)
+                sections[key] = section
+        for key in keys:  # deterministic order regardless of completion
+            experiments[key] = sections[key]
+    else:
+        for key in keys:
+            if progress is not None:
+                progress(key)
+            experiments[key] = bench_experiment(key, trace=trace)
     return {
         "schema": SCHEMA,
         "schema_version": SCHEMA_VERSION,

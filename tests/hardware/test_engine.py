@@ -6,6 +6,12 @@ from repro.errors import SimulationError
 from repro.hardware.engine import Engine
 
 
+@pytest.fixture(params=[True, False], ids=["fast", "legacy"])
+def any_engine(request):
+    """Both dispatch loops; they must be behaviourally identical."""
+    return Engine(fast_path=request.param)
+
+
 class TestScheduling:
     def test_events_run_in_time_order(self):
         engine = Engine()
@@ -135,3 +141,192 @@ class TestRunControl:
             return log
 
         assert trace() == trace()
+
+
+class TestDelayValidation:
+    def test_integral_float_coerced(self, any_engine):
+        engine = any_engine
+        seen = []
+        engine.schedule(5.0, lambda: seen.append(engine.now))
+        engine.run_until_idle()
+        assert seen == [5]
+        assert engine.now == 5
+
+    def test_fractional_delay_rejected(self, any_engine):
+        with pytest.raises(SimulationError, match="integral"):
+            any_engine.schedule(1.5, lambda: None)
+
+    def test_bool_delay_rejected(self, any_engine):
+        with pytest.raises(SimulationError):
+            any_engine.schedule(True, lambda: None)
+
+    def test_non_numeric_delay_rejected(self, any_engine):
+        with pytest.raises(SimulationError):
+            any_engine.schedule("3", lambda: None)
+
+
+class TestOffQueueInvariant:
+    def test_schedule_outside_callback_while_running_rejected(self, any_engine):
+        """The idle fast-forward contract: no off-queue scheduling mid-run."""
+        engine = any_engine
+        engine._running = True  # as if run() were live without a dispatch
+        with pytest.raises(SimulationError, match="off-queue"):
+            engine.schedule(1, lambda: None)
+        engine._running = False
+
+    def test_schedule_inside_callback_allowed(self, any_engine):
+        engine = any_engine
+        seen = []
+        engine.schedule(1, lambda: engine.schedule(1, lambda: seen.append("ok")))
+        engine.run_until_idle()
+        assert seen == ["ok"]
+
+
+class TestFastDispatch:
+    def test_same_cycle_batch_preserves_order_with_nested(self, any_engine):
+        """Events scheduled during a batch still run in sequence order."""
+        engine = any_engine
+        order = []
+
+        def first():
+            order.append("first")
+            engine.schedule(0, lambda: order.append("nested"))
+
+        engine.schedule(2, first)
+        engine.schedule(2, lambda: order.append("second"))
+        engine.schedule(3, lambda: order.append("later"))
+        engine.run_until_idle()
+        assert order == ["first", "second", "nested", "later"]
+
+    def test_max_events_mid_batch_leaves_remainder_queued(self):
+        engine = Engine(fast_path=True)
+        seen = []
+        for tag in range(5):
+            engine.schedule(1, lambda t=tag: seen.append(t))
+        with pytest.raises(SimulationError):
+            engine.run(max_events=3)
+        assert seen == [0, 1, 2]
+        assert engine.pending() == 2
+        assert engine.events_dispatched == 3
+
+    def test_exception_mid_batch_requeues_remainder(self):
+        engine = Engine(fast_path=True)
+        seen = []
+
+        def boom():
+            raise RuntimeError("component fault")
+
+        engine.schedule(1, lambda: seen.append("a"))
+        engine.schedule(1, boom)
+        engine.schedule(1, lambda: seen.append("b"))
+        with pytest.raises(RuntimeError):
+            engine.run_until_idle()
+        assert seen == ["a"]
+        assert engine.pending() == 1  # "b" survived the abort
+        engine.run_until_idle()
+        assert seen == ["a", "b"]
+
+    def test_idle_cycles_skipped_counted(self, any_engine):
+        engine = any_engine
+        engine.schedule(1, lambda: None)
+        engine.schedule(1000, lambda: None)
+        engine.run_until_idle()
+        assert engine.now == 1000
+        # gap 1 -> 1000 has 998 empty cycles; 0 -> 1 has none.
+        assert engine.idle_cycles_skipped == 998
+
+    def test_events_dispatched_accumulates_across_runs(self, any_engine):
+        engine = any_engine
+        engine.schedule(1, lambda: None)
+        engine.run_until_idle()
+        engine.schedule(1, lambda: None)
+        engine.run_until_idle()
+        assert engine.events_dispatched == 2
+
+    def test_fast_and_legacy_produce_identical_traces(self):
+        def trace(fast):
+            engine = Engine(fast_path=fast)
+            log = []
+
+            def tick(round_no):
+                log.append((engine.now, round_no))
+                if round_no < 20:
+                    engine.schedule(round_no % 3, lambda: tick(round_no + 1))
+
+            engine.schedule(0, lambda: tick(0))
+            engine.schedule(7, lambda: log.append((engine.now, "seven")))
+            for delay in (5, 5, 5):
+                engine.schedule(delay, lambda d=delay: log.append((engine.now, d)))
+            end = engine.run_until_idle()
+            return log, end, engine.events_dispatched, engine.idle_cycles_skipped
+
+        assert trace(True) == trace(False)
+
+    def test_until_with_fast_forward(self, any_engine):
+        engine = any_engine
+        seen = []
+        engine.schedule(5, lambda: seen.append("early"))
+        engine.schedule(500, lambda: seen.append("late"))
+        assert engine.run(until=100) == 100
+        assert seen == ["early"]
+        assert engine.now == 100
+        engine.run_until_idle()
+        assert seen == ["early", "late"]
+
+
+class TestRecurringEvent:
+    def test_fires_at_interval(self, any_engine):
+        engine = any_engine
+        ticks = []
+        event = engine.recurring(3, lambda: ticks.append(engine.now))
+
+        def start():
+            event.schedule()
+
+        engine.schedule(0, start)
+        engine.schedule(100, lambda: None)
+        engine.run(until=10)
+        assert ticks == [3]
+
+    def test_rearm_from_callback_chains(self, any_engine):
+        engine = any_engine
+        ticks = []
+
+        def tick():
+            ticks.append(engine.now)
+            if len(ticks) < 4:
+                event.schedule()
+
+        event = engine.recurring(2, tick)
+        event.schedule()
+        engine.run_until_idle()
+        assert ticks == [2, 4, 6, 8]
+
+    def test_rearm_while_pending_rejected(self, any_engine):
+        engine = any_engine
+        event = engine.recurring(2, lambda: None)
+        event.schedule()
+        assert event.pending
+        with pytest.raises(SimulationError, match="pending"):
+            event.schedule()
+
+    def test_interval_validation(self, any_engine):
+        with pytest.raises(SimulationError):
+            any_engine.recurring(-1, lambda: None)
+        with pytest.raises(SimulationError):
+            any_engine.recurring(1.5, lambda: None)
+        with pytest.raises(SimulationError):
+            any_engine.recurring(True, lambda: None)
+
+    def test_ties_with_plain_events_break_by_arming_order(self, any_engine):
+        engine = any_engine
+        order = []
+
+        def setup():
+            event.schedule()  # armed first -> fires first at cycle 2
+            engine.schedule(2, lambda: order.append("plain"))
+
+        event = engine.recurring(2, lambda: order.append("recurring"))
+        engine.schedule(0, setup)
+        engine.run_until_idle()
+        assert order == ["recurring", "plain"]

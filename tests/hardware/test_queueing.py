@@ -108,3 +108,53 @@ class TestLink:
         engine.run_until_idle()
         assert len(sink) == 4
         assert engine.now == 8  # 4 packets x 2 words x 1 cycle
+
+
+class TestHeadListener:
+    def test_fires_on_push_into_empty_and_on_pop(self):
+        queue = BoundedWordQueue(8)
+        heads = []
+        queue.set_head_listener(lambda: heads.append(queue.head()))
+        first, second = packet(destination=1), packet(destination=2)
+        queue.push(first)          # empty -> first
+        queue.push(second)         # head unchanged: no notification
+        assert heads == [first]
+        queue.pop()                # head becomes second
+        queue.pop()                # head becomes None
+        assert heads == [first, second, None]
+
+    def test_fires_before_item_listeners(self):
+        queue = BoundedWordQueue(8)
+        order = []
+        queue.set_head_listener(lambda: order.append("head"))
+        queue.add_item_listener(lambda: order.append("item"))
+        queue.push(packet())
+        assert order == ["head", "item"]
+
+    def test_fires_before_space_waiters(self):
+        queue = BoundedWordQueue(1)
+        order = []
+        queue.push(packet())
+        queue.set_head_listener(lambda: order.append("head"))
+        queue.wait_for_space(lambda: order.append("space"))
+        queue.pop()
+        assert order == ["head", "space"]
+
+    def test_second_listener_rejected(self):
+        queue = BoundedWordQueue(8)
+        queue.set_head_listener(lambda: None)
+        with pytest.raises(SimulationError, match="head listener"):
+            queue.set_head_listener(lambda: None)
+
+    def test_listener_registered_mid_push_fires_next_push(self):
+        queue = BoundedWordQueue(8)
+        calls = []
+        queue.add_item_listener(
+            lambda: queue.add_item_listener(lambda: calls.append("late"))
+            if not calls and not queue._item_listeners[1:]
+            else None
+        )
+        queue.push(packet())   # registers the late listener; must not fire yet
+        assert calls == []
+        queue.push(packet())
+        assert calls == ["late"]

@@ -219,6 +219,24 @@ class TestBenchExperiment:
         assert snapshot["traced"] is False
         assert list(snapshot["experiments"]) == ["table6"]
 
+    def test_parallel_build_snapshot_merges_in_key_order(self):
+        seen = []
+        keys = ["table6", "table5", "figure3"]  # deliberately unsorted
+        snapshot = bench.build_snapshot(
+            keys, 3, trace=False, progress=seen.append, jobs=3
+        )
+        assert sorted(seen) == sorted(keys)  # progress is completion-order
+        assert list(snapshot["experiments"]) == keys  # sections are key-order
+        sequential = bench.build_snapshot(keys, 3, trace=False, jobs=1)
+        for doc in (snapshot, sequential):
+            for section in doc["experiments"].values():
+                section.pop("self_profile", None)
+        assert snapshot == sequential
+
+    def test_single_key_ignores_jobs(self):
+        snapshot = bench.build_snapshot(["table6"], 0, trace=False, jobs=8)
+        assert list(snapshot["experiments"]) == ["table6"]
+
 
 class TestBenchCli:
     def run_bench(self, tmp_path, *extra):

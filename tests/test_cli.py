@@ -87,3 +87,51 @@ class TestRunOut:
         captured = capsys.readouterr()
         assert "cannot write" in captured.err
         assert "running" not in captured.err  # failed before any run
+
+
+class TestRunProfile:
+    def test_profile_prints_hottest_functions(self, capsys):
+        assert main(["run", "table6", "--profile", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "hottest functions (table6)" in out
+        assert "tottime" in out
+        # at most --top rows below the header of the profile table
+        table = out.split("tottime", 1)[1].splitlines()[1:]
+        assert 0 < len([line for line in table if line.strip()]) <= 5
+
+    def test_profile_wired_into_json(self, capsys):
+        assert main(["run", "table6", "--profile", "--top", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        profile = payload[0]["profile"]
+        assert 0 < len(profile) <= 3
+        for row in profile:
+            assert set(row) == {"function", "ncalls", "tottime", "cumtime"}
+            assert row["tottime"] >= 0
+
+    def test_profile_forces_single_job(self, capsys):
+        assert main(
+            ["run", "table6", "--profile", "--jobs", "4", "--json"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "--profile forces --jobs 1" in captured.err
+        assert json.loads(captured.out)[0]["profile"]
+
+
+class TestRunJobs:
+    def test_parallel_json_matches_sequential(self, monkeypatch, capsys):
+        # Narrow "all" to two cheap experiments, then compare --jobs 2
+        # against the sequential run: identical order, identical payload.
+        import repro.cli as cli
+
+        subset = {k: cli.EXPERIMENTS[k] for k in ("table6", "table5")}
+        monkeypatch.setattr(cli, "EXPERIMENTS", subset)
+        assert cli.main(["run", "all", "--jobs", "2", "--json"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert cli.main(["run", "all", "--json"]) == 0
+        sequential = json.loads(capsys.readouterr().out)
+        assert [e["experiment"] for e in parallel] == ["table5", "table6"]
+        assert parallel == sequential
+
+    def test_single_experiment_ignores_jobs(self, capsys):
+        assert main(["run", "table6", "--jobs", "4"]) == 0
+        assert "High" in capsys.readouterr().out

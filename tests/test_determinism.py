@@ -1,0 +1,86 @@
+"""Fast paths and parallel execution must not change a single result.
+
+The perf layer makes three claims (see DESIGN.md "Idle fast-forward"):
+
+* the engine's batched dispatch loop produces the event stream of the
+  one-at-a-time loop, including ``events_dispatched``;
+* the components' wake-slimming (crossbar head-route masks) is
+  observationally equivalent to waking every arbiter;
+* ``--jobs N`` only changes which process runs an experiment, never what
+  the experiment computes.
+
+These tests pin all three by running real cycle-level kernels both ways
+and comparing everything that is visible: monitor histograms, the full
+machine metrics registry, and engine dispatch counts.
+"""
+
+import pytest
+
+from repro.hardware import fastpath
+from repro.kernels.tridiag_matvec import measure_tridiag
+from repro.kernels.vector_load import measure_vector_load
+from repro.metrics.bench import build_snapshot
+from repro.metrics.collector import MonitorCatcher, collect_tracer
+from repro.metrics.registry import MetricsRegistry
+from repro.trace import Tracer, tracing
+
+
+def _traced_run(kernel):
+    """Run ``kernel`` under a fresh tracer; return every observable output."""
+    tracer = Tracer(enabled=True)
+    catcher = MonitorCatcher(tracer)
+    with tracing(tracer):
+        run = kernel()
+    registry = MetricsRegistry()
+    collect_tracer(registry, tracer)
+    catcher.collect_into(registry)
+    machine = registry.as_flat_dict()
+    monitors = [m.histogram_summaries() for m in catcher.monitors]
+    events = tracer.counter_totals().get("engine", {}).get("events_dispatched")
+    return repr(run), machine, monitors, events
+
+
+def _with_fastpath(flag, kernel):
+    previous = fastpath.set_enabled(flag)
+    try:
+        return _traced_run(kernel)
+    finally:
+        fastpath.set_enabled(previous)
+
+
+@pytest.mark.parametrize(
+    "kernel",
+    [
+        pytest.param(lambda: measure_vector_load(8), id="vector-load-8"),
+        pytest.param(lambda: measure_tridiag(8), id="tridiag-8"),
+    ],
+)
+def test_fastpath_on_off_byte_identical(kernel):
+    fast = _with_fastpath(True, kernel)
+    legacy = _with_fastpath(False, kernel)
+    assert fast[0] == legacy[0]        # rendered kernel result
+    assert fast[1] == legacy[1]        # full machine registry, exact
+    assert fast[2] == legacy[2]        # performance-monitor histograms
+    assert fast[3] == legacy[3]        # engine.events_dispatched
+    assert fast[3] is not None and fast[3] > 0
+
+
+def test_fastpath_snapshot_matches_its_own_rerun():
+    """Fast-path runs are themselves deterministic across repeats."""
+    first = _with_fastpath(True, lambda: measure_vector_load(8))
+    second = _with_fastpath(True, lambda: measure_vector_load(8))
+    assert first == second
+
+
+def _strip_self_profile(snapshot):
+    for section in snapshot["experiments"].values():
+        section.pop("self_profile", None)
+    return snapshot
+
+
+def test_parallel_snapshot_identical_to_sequential():
+    keys = ["figure3", "table5", "table6"]
+    sequential = build_snapshot(keys, 0, trace=True, jobs=1)
+    parallel = build_snapshot(keys, 0, trace=True, jobs=4)
+    assert list(parallel["experiments"]) == keys  # key order, not completion
+    assert _strip_self_profile(sequential) == _strip_self_profile(parallel)
