@@ -7,6 +7,9 @@ Usage::
     cedar-repro run all              # everything (slow: cycle simulations)
     cedar-repro run all --json --out results.json
                                      # one aggregate JSON document
+    cedar-repro run table2 --sanitize
+                                     # same artifact, with every hardware
+                                     # invariant machine-checked en route
     cedar-repro trace table2 --out trace.json --report
                                      # same artifact, plus machine-wide
                                      # instrumentation (Chrome trace JSON
@@ -37,8 +40,10 @@ from repro.experiments.registry import (
     run_experiment,
     run_experiment_traced,
 )
+from repro.hardware import sanitize
 from repro.metrics import bench as bench_mod
 from repro.trace import Tracer, utilization_report, write_chrome_trace
+from repro.validate import run_experiment_sanitized
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -71,6 +76,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run independent experiments in N worker processes "
         "(output order stays deterministic)",
+    )
+    run.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="arm the hardware invariant sanitizer: every run is checked "
+        "against the invariants in DESIGN.md and a violation aborts with "
+        "a structured error (CEDAR_SANITIZE=1 implies this)",
     )
     run.add_argument(
         "--profile",
@@ -248,29 +260,49 @@ def _render_profile(rows: List[Dict[str, object]]) -> str:
     return "\n".join(lines)
 
 
-def _run_worker(key: str) -> Tuple[str, str, object]:
+def _sanitizer_line(summary: Dict[str, object]) -> str:
+    """One-line human rendering of a sanitizer summary."""
+    return (
+        f"sanitizer: {summary['total_checks']:,} checks across "
+        f"{len(summary['checks'])} invariant classes, "
+        f"{summary['violations']} violation(s)"
+    )
+
+
+def _run_worker(task: Tuple[str, bool]) -> Tuple[str, str, object, Optional[Dict]]:
     """Worker-process entry: run one experiment, return rendered + JSON data."""
+    key, sanitized = task
+    if sanitized:
+        text, result, summary = run_experiment_sanitized(key)
+        return key, text, _jsonable(result), summary
     experiment = EXPERIMENTS[key]
     result = experiment.run()
-    return key, experiment.render(result), _jsonable(result)
+    return key, experiment.render(result), _jsonable(result), None
 
 
-def _run_one(key: str, args: argparse.Namespace) -> Dict[str, object]:
-    """Run ``key`` in-process, honouring --profile."""
+def _run_one(key: str, args: argparse.Namespace, sanitized: bool) -> Dict[str, object]:
+    """Run ``key`` in-process, honouring --profile and --sanitize."""
     experiment = EXPERIMENTS[key]
     profiler = None
     if args.profile:
         profiler = cProfile.Profile()
         profiler.enable()
-    result = experiment.run()
+    summary = None
+    if sanitized:
+        rendered, result, summary = run_experiment_sanitized(key)
+    else:
+        result = experiment.run()
+        rendered = experiment.render(result)
     if profiler is not None:
         profiler.disable()
     record: Dict[str, object] = {
         "experiment": key,
         "description": experiment.description,
         "result": _jsonable(result),
-        "rendered": experiment.render(result),
+        "rendered": rendered,
     }
+    if summary is not None:
+        record["sanitizer"] = summary
     if profiler is not None:
         record["profile"] = _profile_top(profiler, args.top)
     return record
@@ -291,23 +323,39 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"cannot write {args.out}: {error}", file=sys.stderr)
             return 2
 
+    # --sanitize arms per-run invariant checking; CEDAR_SANITIZE=1 in the
+    # environment implies it (and additionally arms components built by
+    # anything else in the process, e.g. the bench harness).
+    sanitized = args.sanitize or sanitize.enabled()
+    tasks = [(key, sanitized) for key in keys]
     parallel = args.jobs > 1 and len(keys) > 1
     if not args.json and not args.out and not args.profile:
         if parallel:
             # Collect everything, then print in key order: stdout is
             # byte-identical to the sequential run.
             rendered: Dict[str, str] = {}
+            summaries: Dict[str, Optional[Dict]] = {}
             with multiprocessing.Pool(
                 processes=min(args.jobs, len(keys)), maxtasksperchild=1
             ) as pool:
-                for key, text, _ in pool.imap_unordered(_run_worker, keys):
+                for key, text, _, summary in pool.imap_unordered(
+                    _run_worker, tasks
+                ):
                     rendered[key] = text
+                    summaries[key] = summary
             for key in keys:
                 print(rendered[key])
+                if summaries[key] is not None:
+                    print(_sanitizer_line(summaries[key]))
                 print()
         else:
             for key in keys:
-                print(run_experiment(key))
+                if sanitized:
+                    text, _, summary = run_experiment_sanitized(key)
+                    print(text)
+                    print(_sanitizer_line(summary))
+                else:
+                    print(run_experiment(key))
                 print()
         return 0
 
@@ -317,7 +365,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with multiprocessing.Pool(
             processes=min(args.jobs, len(keys)), maxtasksperchild=1
         ) as pool:
-            for key, text, data in pool.imap_unordered(_run_worker, keys):
+            for key, text, data, summary in pool.imap_unordered(
+                _run_worker, tasks
+            ):
                 if args.out:
                     print(f"finished {key}", file=sys.stderr)
                 records[key] = {
@@ -326,16 +376,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     "result": data,
                     "rendered": text,
                 }
+                if summary is not None:
+                    records[key]["sanitizer"] = summary
         results = [records[key] for key in keys]
     else:
         for key in keys:
             if args.out:
                 print(f"running {key} ...", file=sys.stderr)
-            results.append(_run_one(key, args))
+            results.append(_run_one(key, args, sanitized))
 
     if args.profile and not args.json and not args.out:
         for record in results:
             print(record["rendered"])
+            if "sanitizer" in record:
+                print(_sanitizer_line(record["sanitizer"]))
             print()
             print(f"-- hottest functions ({record['experiment']}) --")
             print(_render_profile(record["profile"]))

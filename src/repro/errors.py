@@ -15,6 +15,41 @@ class SimulationError(CedarError):
     """The discrete-event simulator reached an invalid state."""
 
 
+class SanitizerError(SimulationError):
+    """A hardware invariant checked by the runtime sanitizer was violated.
+
+    Structured so tooling can triage without parsing the message: the
+    invariant class (``network.conservation``, ``queue.capacity``, ...),
+    the component that broke it, the simulation cycle when known, a
+    free-form details dict, and the trace-bus span context (the names of
+    the spans open on the machine when the violation fired).
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        component: str,
+        message: str,
+        cycle=None,
+        details=None,
+        span_context=None,
+    ) -> None:
+        self.invariant = invariant
+        self.component = component
+        self.cycle = cycle
+        self.details = dict(details or {})
+        self.span_context = list(span_context or [])
+        text = f"[{invariant}] {component}: {message}"
+        if cycle is not None:
+            text += f" (cycle {cycle})"
+        if self.details:
+            pairs = ", ".join(f"{k}={v!r}" for k, v in sorted(self.details.items()))
+            text += f" [{pairs}]"
+        if self.span_context:
+            text += " in " + " > ".join(self.span_context)
+        super().__init__(text)
+
+
 class ProgramError(CedarError):
     """A Cedar program (lang layer) is malformed."""
 

@@ -18,6 +18,7 @@ from collections import OrderedDict
 from typing import Optional, Tuple
 
 from repro.config import CacheConfig, ClusterMemoryConfig, WORD_BYTES
+from repro.hardware import sanitize
 from repro.hardware.engine import Engine
 
 
@@ -32,6 +33,7 @@ class BandwidthServer:
         self.name = name
         self._next_free = 0.0
         self.words_served = 0
+        self._sanitizer = sanitize.current()
 
     def reserve(self, words: int) -> int:
         """Reserve ``words`` of transfer; returns the completion cycle.
@@ -41,10 +43,15 @@ class BandwidthServer:
         """
         if words < 0:
             raise ValueError(f"cannot reserve {words} words")
+        previous_free = self._next_free
         start = max(float(self.engine.now), self._next_free)
         finish = start + words / self.words_per_cycle
         self._next_free = finish
         self.words_served += words
+        if self._sanitizer is not None:
+            self._sanitizer.check_bandwidth_reserve(
+                self, previous_free, start, finish, words
+            )
         return int(round(finish))
 
     @property
@@ -81,6 +88,7 @@ class ClusterCache:
         self.memory_port = BandwidthServer(
             engine, memory_config.words_per_cycle, f"{name}.membus"
         )
+        self._sanitizer = sanitize.current()
         self.hits = 0
         self.misses = 0
         self.write_backs = 0
@@ -126,6 +134,8 @@ class ClusterCache:
         if self.trace is not None:
             self._trace_access(hit, 1)
         self._touch(line, dirty=write)
+        if self._sanitizer is not None:
+            self._sanitizer.check_cache_directory(self)
         return hit, finish
 
     def stream(self, length: int, resident: bool = True) -> int:
@@ -165,3 +175,5 @@ class ClusterCache:
         last = self._line_of(start_address + max(0, length - 1))
         for line in range(first, last + 1):
             self._touch(line, dirty)
+        if self._sanitizer is not None:
+            self._sanitizer.check_cache_directory(self)

@@ -14,6 +14,7 @@ from typing import Callable, Iterator, List, Optional
 
 from repro.config import ConcurrencyBusConfig
 from repro.errors import SimulationError
+from repro.hardware import sanitize
 from repro.hardware.ce import Compute, ComputationalElement, KernelCoroutine
 
 
@@ -59,6 +60,7 @@ class ConcurrencyControlBus:
         self.engine = ces[0].engine
         self.name = name
         self.trace = tracer.if_enabled() if tracer is not None else None
+        self._sanitizer = sanitize.current()
         self.loops_started = 0
 
     def concurrent_start(
@@ -82,13 +84,18 @@ class ConcurrencyControlBus:
         counter = IterationCounter(num_iterations)
         remaining = {"ces": len(self.ces)}
         trace = self.trace
+        sanitizer = self._sanitizer
         start_cycle = self.engine.now
         if trace is not None:
             trace.count(self.name, "concurrent_starts")
+        if sanitizer is not None:
+            sanitizer.register_cdoall(counter, num_iterations, len(self.ces))
 
         def ce_finished() -> None:
             remaining["ces"] -= 1
             if remaining["ces"] == 0:
+                if sanitizer is not None:
+                    sanitizer.ccb_join(counter, static)
                 if trace is not None:
                     trace.complete(
                         self.name,
@@ -114,6 +121,7 @@ class ConcurrencyControlBus:
         num_ces = len(self.ces)
         trace = self.trace
         name = self.name
+        sanitizer = self._sanitizer
 
         def worker(ce: ComputationalElement) -> KernelCoroutine:
             # Concurrent-start broadcast: program counter + private stacks.
@@ -128,6 +136,8 @@ class ConcurrencyControlBus:
                     iteration = counter.claim()
                     if iteration is None:
                         break
+                    if sanitizer is not None:
+                        sanitizer.ccb_claimed(counter, iteration)
                     if trace is not None:
                         trace.count(name, "iterations_acquired")
                     yield Compute(config.self_schedule_cycles)

@@ -18,6 +18,7 @@ from typing import Callable, Dict, Generator, List, Optional
 
 from repro.config import CedarConfig
 from repro.errors import SimulationError
+from repro.hardware import sanitize
 from repro.hardware.engine import Engine
 from repro.hardware.network import OmegaNetwork
 from repro.hardware.packet import Packet, PacketKind
@@ -219,6 +220,7 @@ class ComputationalElement:
             memory_port_of=memory_port_of,
             tracer=tracer,
         )
+        self._sanitizer = sanitize.current()
         self.flops = 0.0
         self.busy_until = 0
         self.finished_at: Optional[int] = None
@@ -302,6 +304,12 @@ class ComputationalElement:
                 self.engine.schedule(delay, lambda: self._advance(self.engine.now))
                 return
             if handle.is_available(index):
+                if self._sanitizer is not None:
+                    # Read-side full/empty protocol: consuming a word
+                    # requires its full bit to be set.
+                    self._sanitizer.check_fullempty_read(
+                        f"ce{self.global_port:02d}", handle, index
+                    )
                 # One element per cycle once the datum is in the buffer.
                 state["index"] = index + 1
                 state["ready_at"] = max(state["ready_at"], self.engine.now) + 1

@@ -30,7 +30,7 @@ from __future__ import annotations
 from heapq import heappush
 from typing import Callable, List, Optional
 
-from repro.hardware import fastpath
+from repro.hardware import fastpath, sanitize
 from repro.hardware.engine import Engine
 from repro.hardware.packet import Packet
 from repro.hardware.queueing import BoundedWordQueue
@@ -54,6 +54,7 @@ class _OutputArbiter:
         "_heads",
         "_queues",
         "_head_route",
+        "_sanitizer",
     )
 
     def __init__(
@@ -77,6 +78,7 @@ class _OutputArbiter:
         self._heads = switch._heads_for
         self._queues = switch.input_queues
         self._head_route = switch._head_route
+        self._sanitizer = switch._sanitizer
 
     def attach(self, sink: BoundedWordQueue) -> None:
         self._sink = sink
@@ -99,6 +101,10 @@ class _OutputArbiter:
             # the network's critical path.
             output_index = self.output_index
             if not self._heads[output_index]:
+                if self._sanitizer is not None:
+                    # The skip is only legal if the reference scan would
+                    # also have found nothing; prove it.
+                    self._sanitizer.check_masked_skip(self)
                 return  # no head routed here: the scan could find nothing
             head_route = self._head_route
             for offset in range(radix):
@@ -111,7 +117,7 @@ class _OutputArbiter:
                 if head.words <= sink.capacity_words - sink._used_words:
                     chosen = index
                     break
-                self._count_conflict(sink)
+                self._count_conflict(sink, head)
                 return
             if chosen < 0:
                 return
@@ -120,6 +126,10 @@ class _OutputArbiter:
             if selected is None:
                 return
             chosen = selected
+        if self._sanitizer is not None:
+            # Before any mutation: the grant must match the shadow
+            # reference arbiter and the round-robin pointer must be fair.
+            self._sanitizer.check_arbiter_grant(self, start, chosen)
         self._busy = True
         packet = queues[chosen].pop()
         self._next_input = (chosen + 1) % radix
@@ -161,15 +171,17 @@ class _OutputArbiter:
                 continue
             if sink.can_accept(head):
                 return index
-            self._count_conflict(sink)
+            self._count_conflict(sink, head)
             return None
         return None
 
-    def _count_conflict(self, sink: BoundedWordQueue) -> None:
+    def _count_conflict(self, sink: BoundedWordQueue, head: Packet) -> None:
         # Head routed here but downstream is full: wait for space.  The
         # space waiter re-wakes this arbiter, which re-scans fairly.  Every
         # re-scan that hits the full sink counts another conflict, exactly
         # like the plain implementation.
+        if self._sanitizer is not None:
+            self._sanitizer.check_port_conflict(self, head)
         totals = self.switch._trace_totals
         if totals is not None:
             totals["port_conflicts"] = totals.get("port_conflicts", 0) + 1
@@ -236,6 +248,8 @@ class CrossbarSwitch:
             else None
         )
         self._fast = fastpath.enabled()
+        #: Armed invariant checker or None; the arbiters prebind it.
+        self._sanitizer = sanitize.current()
         #: How many input-queue heads currently route to each output.
         self._heads_for: List[int] = [0] * radix
         #: Route of each input queue's head packet (None when empty).
@@ -280,6 +294,10 @@ class CrossbarSwitch:
 
     def wake_all(self) -> None:
         """Give every output arbiter a chance to pick up a head packet."""
+        if self._sanitizer is not None:
+            # One pass per wake_all: the derived head-route masks must
+            # mirror the actual queue heads before any arbiter trusts them.
+            self._sanitizer.check_crossbar_masks(self)
         if self._fast:
             for count, arbiter in zip(self._heads_for, self.arbiters):
                 if count and not arbiter._busy:

@@ -35,9 +35,18 @@ import itertools
 from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
-from repro.hardware import fastpath
+from repro.hardware import fastpath, sanitize
 
 Callback = Callable[[], None]
+
+
+def _cancelled() -> None:
+    """Dispatch target of a cancelled recurring occurrence (a no-op).
+
+    The dead heap entry cannot be removed from the middle of the heap, so
+    it is neutralized in place and dispatched as an inert event; both
+    dispatch loops count it identically, preserving A/B equivalence.
+    """
 
 #: Heap entries are mutable ``[cycle, sequence, callback]`` triples so that
 #: :class:`RecurringEvent` can re-arm by rewriting its one entry in place.
@@ -88,11 +97,31 @@ class RecurringEvent:
                 "recurring event re-armed while an occurrence is still pending"
             )
         engine = self._engine
+        if engine._sanitizer is not None:
+            engine._sanitizer.check_schedule_call(
+                engine, self.interval, "engine.recurring"
+            )
         entry = self._entry
         entry[0] = engine._now + self.interval
         entry[1] = next(engine._sequence)
         self._pending = True
         heapq.heappush(engine._queue, entry)
+
+    def cancel(self) -> None:
+        """Cancel the pending occurrence (a no-op when none is pending).
+
+        The in-queue entry cannot be cheaply removed from the heap, so it
+        is neutralized in place (its callback slot becomes inert) and
+        *detached*: a subsequent :meth:`schedule` arms a fresh entry,
+        never rewriting the dead one still sitting in the queue.  The dead
+        entry is dispatched as an inert event when its cycle comes, which
+        both dispatch loops count identically.
+        """
+        if not self._pending:
+            return
+        self._entry[2] = _cancelled
+        self._entry = [0, 0, self._fire]
+        self._pending = False
 
 
 class Engine:
@@ -110,6 +139,8 @@ class Engine:
         #: flag at construction time.  Both loops dispatch the identical
         #: event stream (see module docstring).
         self.fast_path = fastpath.enabled() if fast_path is None else bool(fast_path)
+        #: Armed invariant checker or None (see repro.hardware.sanitize).
+        self._sanitizer = sanitize.current()
         #: Total events dispatched over this engine's lifetime.
         self.events_dispatched = 0
         #: Cycles the clock jumped over because no event was queued in them.
@@ -151,8 +182,12 @@ class Engine:
         ``delay`` MUST be a non-negative int the caller has already
         validated (a constant, or arithmetic over validated ints); hot
         components (crossbar transfers, memory service completions) use
-        this to skip the per-call checks.
+        this to skip the per-call checks.  The sanitizer re-arms exactly
+        those checks, so ``--sanitize`` runs catch a caller breaking the
+        contract.
         """
+        if self._sanitizer is not None:
+            self._sanitizer.check_schedule_call(self, delay, "engine.schedule_after")
         heapq.heappush(
             self._queue, [self._now + delay, next(self._sequence), callback]
         )
@@ -211,11 +246,14 @@ class Engine:
         append = batch.append
         dispatched = 0
         now = self._now
+        sanitizer = self._sanitizer
         self._in_dispatch = True
         try:
             while queue:
                 time = queue[0][0]
                 if time != now:
+                    if sanitizer is not None:
+                        sanitizer.check_clock_advance(self, time, now)
                     if until is not None and time > until:
                         now = until
                         break
@@ -271,10 +309,13 @@ class Engine:
     def _run_legacy(self, until: Optional[int], max_events: int) -> int:
         """The original one-event-at-a-time loop, kept for A/B verification."""
         dispatched = 0
+        sanitizer = self._sanitizer
         self._in_dispatch = True
         try:
             while self._queue:
                 time, _, callback = self._queue[0]
+                if sanitizer is not None and time != self._now:
+                    sanitizer.check_clock_advance(self, time, self._now)
                 if until is not None and time > until:
                     self._now = until
                     break

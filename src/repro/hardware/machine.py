@@ -13,6 +13,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.config import CE_CYCLE_SECONDS, CedarConfig, DEFAULT_CONFIG
 from repro.errors import SimulationError
+from repro.hardware import sanitize
 from repro.hardware.ce import ComputationalElement, KernelFactory
 from repro.hardware.cluster import Cluster
 from repro.hardware.engine import Engine
@@ -51,6 +52,12 @@ class CedarMachine:
     ) -> None:
         self.config = config
         self.engine = Engine()
+        # Invariant sanitizer: the ambient one (see `sanitizing()` /
+        # CEDAR_SANITIZE), adopted before any component is built so every
+        # hook below snapshots the same instance.
+        self.sanitizer = sanitize.current()
+        if self.sanitizer is not None:
+            self.sanitizer.register_engine(self.engine)
         # Instrumentation bus: an explicit tracer wins, else the ambient one
         # installed by `tracing()` (how `cedar-repro trace` reaches machines
         # built deep inside experiment drivers), else a disabled local bus so

@@ -14,6 +14,7 @@ from typing import Callable, Optional
 
 from repro.config import GlobalMemoryConfig, SyncConfig
 from repro.errors import SimulationError
+from repro.hardware import sanitize
 from repro.hardware.engine import Engine
 from repro.hardware.network import OmegaNetwork
 from repro.hardware.packet import Packet, PacketKind
@@ -58,6 +59,9 @@ class MemoryModule:
         )
         self.sync = SyncProcessor(tracer=tracer)
         self._sync_handler = sync_handler
+        self._sanitizer = sanitize.current()
+        if self._sanitizer is not None:
+            self._sanitizer.register_memory_module(self)
         self._busy = False
         self._pending_reply: Optional[Packet] = None
         self._in_service: Optional[Packet] = None
@@ -72,6 +76,8 @@ class MemoryModule:
             return
         self._busy = True
         request = self.forward_queue.pop()
+        if self._sanitizer is not None:
+            self._sanitizer.memory_request(self, request)
         service = self._service_cycles(request)
         self.busy_cycles += service
         if self.trace is not None:
@@ -102,6 +108,8 @@ class MemoryModule:
         reply = self._build_reply(request)
         self._busy = False
         if reply is None:
+            if self._sanitizer is not None:
+                self._sanitizer.memory_write_absorbed(self)
             self._wake()
             return
         # One cycle moves the reply through the module's reverse-network
@@ -136,6 +144,8 @@ class MemoryModule:
         if reply is None:
             return
         if self.reverse.try_inject(self.index, reply):
+            if self._sanitizer is not None:
+                self._sanitizer.memory_reply(self, reply)
             self._pending_reply = None
             self._wake()
         else:

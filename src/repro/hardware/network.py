@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.config import NetworkConfig
 from repro.errors import ConfigurationError
+from repro.hardware import sanitize
 from repro.hardware.engine import Engine
 from repro.hardware.packet import Packet
 from repro.hardware.crossbar import CrossbarSwitch
@@ -72,7 +73,12 @@ class OmegaNetwork:
         self.num_ports = num_ports
         self._sinks: Dict[int, DeliveryHandler] = {}
         self._delivery_queues: List[BoundedWordQueue] = []
+        self._sanitizer = sanitize.current()
         self._build()
+        if self._sanitizer is not None:
+            # Registers the delivery queues so pops from them count as
+            # deliveries in the packet-conservation ledger.
+            self._sanitizer.register_network(self)
 
     # -- construction ----------------------------------------------------
 
@@ -202,6 +208,8 @@ class OmegaNetwork:
             if counters is not None:
                 counters.add("injection_rejections")
             return False
+        if self._sanitizer is not None:
+            self._sanitizer.network_injected(self, packet)
         queue.push(packet)
         if counters is not None:
             counters.add("packets_injected")

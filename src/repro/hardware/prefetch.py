@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.config import PrefetchConfig, WORD_BYTES
 from repro.errors import SimulationError
+from repro.hardware import sanitize
 from repro.hardware.engine import Engine
 from repro.hardware.packet import Packet, PacketKind
 
@@ -134,6 +135,7 @@ class PrefetchUnit:
         self._issue_tick = engine.recurring(
             config.issue_interval_cycles, self._issue_next
         )
+        self._sanitizer = sanitize.current()
         self._armed: Optional[Dict[str, int]] = None
         self._active: Optional[PrefetchHandle] = None
         self._next_index = 0
@@ -250,6 +252,11 @@ class PrefetchUnit:
         self._outstanding -= 1
         if handle.invalidated:
             return  # the buffer was invalidated by a newer fire()
+        if self._sanitizer is not None:
+            # Write-side full/empty protocol: the slot must be empty.
+            self._sanitizer.check_fullempty_write(
+                self._trace_component, handle, index
+            )
         handle.record_arrival(index, self.engine.now)
         if self.trace is not None:
             self._trace_counters.add("buffer_words_filled")

@@ -12,6 +12,7 @@ from collections import deque
 from typing import Callable, Deque, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.hardware import sanitize
 from repro.hardware.engine import Engine
 from repro.hardware.packet import Packet
 
@@ -40,6 +41,9 @@ class BoundedWordQueue:
         self._item_listeners: Tuple[Notification, ...] = ()
         self._head_listener: Optional[Notification] = None
         self._space_waiters: Deque[Notification] = deque()
+        #: Armed invariant checker or None; one is-not-None test per
+        #: push/pop keeps the unsanitized path pay-for-use.
+        self._sanitizer = sanitize.current()
 
     def __len__(self) -> int:
         return len(self._packets)
@@ -70,6 +74,10 @@ class BoundedWordQueue:
         packets = self._packets
         packets.append(packet)
         self._used_words += words
+        if self._sanitizer is not None:
+            # Checked before listeners fire, so the sanitizer sees the
+            # settled queue state rather than cascading reactions to it.
+            self._sanitizer.queue_pushed(self, packet)
         if len(packets) == 1 and self._head_listener is not None:
             self._head_listener()
         for listener in self._item_listeners:
@@ -82,6 +90,8 @@ class BoundedWordQueue:
             raise SimulationError(f"pop from empty queue {self.name or id(self)}")
         packet = packets.popleft()
         self._used_words -= packet.words
+        if self._sanitizer is not None:
+            self._sanitizer.queue_popped(self, packet)
         if self._head_listener is not None:
             self._head_listener()
         if self._space_waiters:

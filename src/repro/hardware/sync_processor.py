@@ -15,6 +15,8 @@ import operator
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from repro.hardware import sanitize
+
 
 class TestOp(enum.Enum):
     """Relational tests available to Test-And-Operate."""
@@ -81,6 +83,7 @@ class SyncProcessor:
         self._words: Dict[int, int] = {}
         self.operations_executed = 0
         self.trace = tracer.if_enabled() if tracer is not None else None
+        self._sanitizer = sanitize.current()
 
     def read(self, address: int) -> int:
         """Current 32-bit value at ``address`` (0 if never written)."""
@@ -96,7 +99,12 @@ class SyncProcessor:
             self.trace.count("sync", "test_and_set")
         old = self.read(address)
         self.write(address, 1)
-        return SyncOutcome(test_passed=(old == 0), old_value=old, new_value=1)
+        outcome = SyncOutcome(test_passed=(old == 0), old_value=old, new_value=1)
+        if self._sanitizer is not None:
+            self._sanitizer.check_sync(
+                self, address, "test_and_set", None, 0, None, 0, outcome
+            )
+        return outcome
 
     def test_and_operate(
         self,
@@ -116,11 +124,20 @@ class SyncProcessor:
             self.trace.count("sync", "test_and_operate")
         old = self.read(address)
         if not _TESTS[test](old, key & _MASK32):
-            return SyncOutcome(test_passed=False, old_value=old, new_value=old)
-        new = self._apply(op, old, operand & _MASK32)
-        if op is not OperateOp.READ:
-            self.write(address, new)
-        return SyncOutcome(test_passed=True, old_value=old, new_value=new & _MASK32)
+            outcome = SyncOutcome(test_passed=False, old_value=old, new_value=old)
+        else:
+            new = self._apply(op, old, operand & _MASK32)
+            if op is not OperateOp.READ:
+                self.write(address, new)
+            outcome = SyncOutcome(
+                test_passed=True, old_value=old, new_value=new & _MASK32
+            )
+        if self._sanitizer is not None:
+            self._sanitizer.check_sync(
+                self, address, "test_and_operate",
+                test.value, key, op.value, operand, outcome,
+            )
+        return outcome
 
     @staticmethod
     def _apply(op: OperateOp, old: int, operand: int) -> int:

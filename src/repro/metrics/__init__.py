@@ -23,6 +23,7 @@ from repro.metrics.registry import (
 from repro.metrics.collector import (
     MonitorCatcher,
     collect_monitor,
+    collect_sanitizer,
     collect_tracer,
 )
 from repro.metrics.export import (
@@ -55,6 +56,7 @@ __all__ = [
     "flat_series_name",
     "MonitorCatcher",
     "collect_monitor",
+    "collect_sanitizer",
     "collect_tracer",
     "jsonl_lines",
     "parse_prometheus",

@@ -259,6 +259,22 @@ class Tracer:
         """Depth of the begin/end stack (for tests and sanity checks)."""
         return len(self._span_stacks.get(component, ()))
 
+    def open_span_names(self, component: Optional[str] = None) -> List[str]:
+        """Names of the currently open spans, outermost first.
+
+        With ``component`` given, only that component's stack; otherwise
+        every open span across the machine, prefixed with its component.
+        The sanitizer embeds this context in :class:`SanitizerError`s so a
+        violation reports *what the machine was doing* when it fired.
+        """
+        if component is not None:
+            return [name for name, _, _ in self._span_stacks.get(component, ())]
+        names: List[str] = []
+        for comp in sorted(self._span_stacks):
+            for name, _, _ in self._span_stacks[comp]:
+                names.append(f"{comp}:{name}")
+        return names
+
     # -- instants ----------------------------------------------------------
 
     def instant(

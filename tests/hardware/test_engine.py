@@ -330,3 +330,95 @@ class TestRecurringEvent:
         engine.schedule(0, setup)
         engine.run_until_idle()
         assert order == ["recurring", "plain"]
+
+
+class TestRecurringCancel:
+    def test_cancel_before_fire_suppresses_callback(self, any_engine):
+        engine = any_engine
+        ticks = []
+        event = engine.recurring(5, lambda: ticks.append(engine.now))
+
+        def setup():
+            event.schedule()
+            event.cancel()
+
+        engine.schedule(0, setup)
+        engine.run_until_idle()
+        assert ticks == []
+        assert not event.pending
+
+    def test_cancel_mid_batch_neutralizes_queued_occurrence(self, any_engine):
+        """A same-cycle event cancelling a recurrence already due in that
+        cycle must win: the dead entry dispatches as an inert no-op."""
+        engine = any_engine
+        ticks = []
+        event = engine.recurring(5, lambda: ticks.append(engine.now))
+
+        def setup():
+            # The canceller draws the earlier sequence number, so at cycle 5
+            # it dispatches first -- with the recurrence in the same batch.
+            engine.schedule(5, event.cancel)
+            event.schedule()
+
+        engine.schedule(0, setup)
+        engine.run_until_idle()
+        assert ticks == []
+
+    def test_cancel_is_idempotent_and_noop_when_idle(self, any_engine):
+        event = any_engine.recurring(3, lambda: None)
+        event.cancel()  # never armed: nothing to do
+        event.cancel()
+        assert not event.pending
+
+    def test_cancel_then_reschedule_uses_a_fresh_entry(self, any_engine):
+        """The heap-entry-reuse path: re-arming after cancel must not
+        resurrect (or rewrite) the dead entry still sitting in the heap."""
+        engine = any_engine
+        ticks = []
+        event = engine.recurring(3, lambda: ticks.append(engine.now))
+
+        def setup():
+            event.schedule()  # would fire at 3
+            event.cancel()
+            event.schedule()  # fresh entry, also at 3 but a later sequence
+
+        engine.schedule(0, setup)
+        engine.run_until_idle()
+        assert ticks == [3]  # exactly once, from the fresh entry
+
+    def test_idle_fast_forward_across_cancelled_recurrence(self, any_engine):
+        """A cancelled occurrence still holds its cycle in the queue; the
+        clock visits it, dispatches the inert entry, and keeps skipping."""
+        engine = any_engine
+        ticks = []
+        event = engine.recurring(10, lambda: ticks.append(engine.now))
+
+        def setup():
+            event.schedule()
+            event.cancel()
+            engine.schedule(100, lambda: ticks.append(-engine.now))
+
+        engine.schedule(0, setup)
+        engine.run_until_idle()
+        assert ticks == [-100]
+        assert engine.now == 100
+        # Gaps on both sides of the dead entry were fast-forwarded.
+        assert engine.idle_cycles_skipped == (10 - 1) + (100 - 10 - 1)
+
+    def test_cancel_accounting_identical_across_loops(self):
+        def run(fast):
+            engine = Engine(fast_path=fast)
+            ticks = []
+            event = engine.recurring(4, lambda: ticks.append(engine.now))
+
+            def setup():
+                event.schedule()
+                engine.schedule(4, lambda: ticks.append(-engine.now))
+                event.cancel()
+                event.schedule()
+
+            engine.schedule(0, setup)
+            engine.run_until_idle()
+            return ticks, engine.events_dispatched, engine.idle_cycles_skipped
+
+        assert run(True) == run(False)

@@ -54,11 +54,15 @@ class TestConservation:
         queue = list(pending.values())
 
         def pump():
-            remaining = []
-            for packet in queue:
+            # Injection can synchronously pop the entry queue (arbiter wake),
+            # firing entry-space waiters -- i.e. re-entering pump -- mid-loop.
+            # Claim the whole backlog first so a re-entrant call never sees
+            # (and re-injects) a packet this frame is already handling.
+            todo = queue[:]
+            queue.clear()
+            for packet in todo:
                 if not network.try_inject(packet.source, packet):
-                    remaining.append(packet)
-            queue[:] = remaining
+                    queue.append(packet)
             if queue:
                 network.on_entry_space(queue[0].source, pump)
 

@@ -1,0 +1,191 @@
+"""Tests for the hardware invariant sanitizer.
+
+Two halves: clean runs must produce zero violations (and be byte-identical
+to unsanitized runs), and every checker class must provably fire when its
+invariant is deliberately broken (the fault drills in repro.validate).
+"""
+
+import pytest
+
+from repro.errors import SanitizerError, SimulationError
+from repro.hardware import sanitize
+from repro.hardware.engine import Engine
+from repro.hardware.machine import CedarMachine
+from repro.hardware.queueing import BoundedWordQueue
+from repro.kernels.vector_load import measure_vector_load
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.collector import collect_sanitizer
+from repro.trace import Tracer, tracing
+from repro.validate import FAULT_DRILLS, run_experiment_sanitized
+from repro.validate.faults import _drill_engine_schedule
+
+
+class TestAmbientContext:
+    def test_disabled_by_default(self):
+        assert sanitize.current() is None
+
+    def test_sanitizing_installs_and_removes(self):
+        with sanitize.sanitizing() as sanitizer:
+            assert sanitize.current() is sanitizer
+        assert sanitize.current() is None
+
+    def test_innermost_block_wins(self):
+        with sanitize.sanitizing() as outer:
+            with sanitize.sanitizing() as inner:
+                assert inner is not outer
+                assert sanitize.current() is inner
+            assert sanitize.current() is outer
+
+    def test_env_flag_arms_a_process_global(self):
+        previous = sanitize.set_enabled(True)
+        try:
+            first = sanitize.current()
+            assert first is not None
+            assert sanitize.current() is first  # stable across calls
+        finally:
+            sanitize.set_enabled(previous)
+
+    def test_components_snapshot_at_construction(self):
+        with sanitize.sanitizing():
+            armed = BoundedWordQueue(4, name="armed")
+        unarmed = BoundedWordQueue(4, name="unarmed")
+        assert armed._sanitizer is not None
+        assert unarmed._sanitizer is None
+
+    def test_machine_adopts_ambient_sanitizer(self):
+        with sanitize.sanitizing() as sanitizer:
+            machine = CedarMachine()
+        assert machine.sanitizer is sanitizer
+        assert CedarMachine().sanitizer is None
+
+
+class TestFaultDrills:
+    """Every checker class must fire on its deliberately injected fault."""
+
+    @pytest.mark.parametrize("invariant", sorted(FAULT_DRILLS))
+    def test_drill_raises_its_own_invariant(self, invariant):
+        with sanitize.sanitizing() as sanitizer:
+            with pytest.raises(SanitizerError) as excinfo:
+                FAULT_DRILLS[invariant]()
+        assert excinfo.value.invariant == invariant
+        assert sanitizer.violations == 1
+
+    def test_error_is_structured(self):
+        with sanitize.sanitizing():
+            with pytest.raises(SanitizerError) as excinfo:
+                FAULT_DRILLS["engine.schedule"]()
+        error = excinfo.value
+        assert error.invariant == "engine.schedule"
+        assert error.component == "engine.schedule_after"
+        assert isinstance(error.details, dict) and error.details
+        assert "[engine.schedule]" in str(error)
+        assert isinstance(error, SimulationError)  # catchable as usual
+
+    def test_violation_carries_open_span_context(self):
+        tracer = Tracer(enabled=True)
+        tracer.set_clock(lambda: 0)
+        with tracing(tracer):
+            tracer.begin("drill", "outer_phase")
+            with sanitize.sanitizing():
+                with pytest.raises(SanitizerError) as excinfo:
+                    _drill_engine_schedule()
+            tracer.end("drill")
+        assert "drill:outer_phase" in excinfo.value.span_context
+        assert "outer_phase" in str(excinfo.value)
+
+
+class TestCleanRuns:
+    def test_small_kernel_runs_clean_and_identical(self):
+        baseline = repr(measure_vector_load(4))
+        with sanitize.sanitizing() as sanitizer:
+            sanitized = repr(measure_vector_load(4))
+        sanitizer.finalize()
+        assert sanitized == baseline  # the sanitizer only observes
+        assert sanitizer.violations == 0
+        assert sanitizer.total_checks > 0
+        # The hot invariant classes all saw traffic on a real kernel.
+        for invariant in (
+            "queue.capacity",
+            "flow_control.credit",
+            "network.conservation",
+            "network.routing",
+            "crossbar.arbiter",
+            "queue.head",
+            "engine.schedule",
+            "memory.balance",
+        ):
+            assert sanitizer.checks.get(invariant, 0) > 0, invariant
+
+    def test_summary_shape(self):
+        with sanitize.sanitizing() as sanitizer:
+            measure_vector_load(2)
+        sanitizer.finalize()
+        summary = sanitizer.summary()
+        assert summary["enabled"] is True
+        assert summary["violations"] == 0
+        assert summary["total_checks"] == sum(summary["checks"].values())
+        assert list(summary["checks"]) == sorted(summary["checks"])
+
+    def test_collect_sanitizer_folds_into_registry(self):
+        with sanitize.sanitizing() as sanitizer:
+            measure_vector_load(2)
+        sanitizer.finalize()
+        registry = MetricsRegistry()
+        collect_sanitizer(registry, sanitizer)
+        flat = registry.as_flat_dict()
+        assert flat["sanitizer_violations"] == 0
+        checked = {
+            name: value
+            for name, value in flat.items()
+            if name.startswith("sanitizer_checks_total")
+        }
+        assert checked and sum(checked.values()) == sanitizer.total_checks
+
+    def test_run_experiment_sanitized_matches_unsanitized_render(self):
+        from repro.experiments.registry import run_experiment
+
+        rendered, _, summary = run_experiment_sanitized("table5")
+        assert rendered == run_experiment("table5")
+        assert summary["violations"] == 0
+
+
+class TestFinalize:
+    def test_flags_a_packet_vanishing_in_flight(self):
+        from repro.config import DEFAULT_CONFIG
+        from repro.hardware.network import OmegaNetwork
+        from repro.hardware.packet import Packet, PacketKind
+
+        with sanitize.sanitizing() as sanitizer:
+            engine = Engine()
+            network = OmegaNetwork(engine, 8, DEFAULT_CONFIG.network)
+            packet = Packet(
+                kind=PacketKind.READ_REQUEST, source=0, destination=3, address=3
+            )
+            network.try_inject(0, packet)
+            engine.run_until_idle()
+            # Vaporize the delivered-but-unpopped packet out of its queue.
+            queue = network.delivery_queue(3)
+            queue._packets.clear()
+            queue._used_words = 0
+        with pytest.raises(SanitizerError, match="vanished"):
+            sanitizer.finalize()
+
+    def test_clean_network_finalizes_quietly(self):
+        from repro.config import DEFAULT_CONFIG
+        from repro.hardware.network import OmegaNetwork
+        from repro.hardware.packet import Packet, PacketKind
+
+        with sanitize.sanitizing() as sanitizer:
+            engine = Engine()
+            network = OmegaNetwork(engine, 8, DEFAULT_CONFIG.network)
+            received = []
+            for port in range(8):
+                network.attach_sink(port, received.append)
+            packet = Packet(
+                kind=PacketKind.READ_REQUEST, source=0, destination=3, address=3
+            )
+            network.try_inject(0, packet)
+            engine.run_until_idle()
+        sanitizer.finalize()
+        assert [p.packet_id for p in received] == [packet.packet_id]
+        assert sanitizer.violations == 0

@@ -135,3 +135,53 @@ class TestRunJobs:
     def test_single_experiment_ignores_jobs(self, capsys):
         assert main(["run", "table6", "--jobs", "4"]) == 0
         assert "High" in capsys.readouterr().out
+
+
+class TestRunSanitize:
+    def test_plain_run_prints_sanitizer_line(self, capsys):
+        assert main(["run", "table6", "--sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitizer:" in out
+        assert "0 violation(s)" in out
+
+    def test_json_record_carries_sanitizer_summary(self, capsys):
+        assert main(["run", "network-ablation", "--sanitize", "--json"]) == 0
+        entry = json.loads(capsys.readouterr().out)[0]
+        summary = entry["sanitizer"]
+        assert summary["enabled"] is True
+        assert summary["violations"] == 0
+        assert summary["total_checks"] == sum(summary["checks"].values())
+        assert summary["total_checks"] > 0  # a cycle simulation saw traffic
+
+    def test_rendered_artifact_identical_with_and_without(self, capsys):
+        assert main(["run", "table6", "--json"]) == 0
+        plain = json.loads(capsys.readouterr().out)[0]
+        assert main(["run", "table6", "--sanitize", "--json"]) == 0
+        sanitized = json.loads(capsys.readouterr().out)[0]
+        assert sanitized["rendered"] == plain["rendered"]
+        assert sanitized["result"] == plain["result"]
+
+    def test_env_flag_implies_sanitize(self, monkeypatch, capsys):
+        monkeypatch.setenv("CEDAR_SANITIZE", "1")
+        from repro.hardware import sanitize as sanitize_mod
+
+        previous = sanitize_mod.set_enabled(True)
+        try:
+            assert main(["run", "table6"]) == 0
+        finally:
+            sanitize_mod.set_enabled(previous)
+        assert "sanitizer:" in capsys.readouterr().out
+
+    def test_parallel_sanitized_matches_sequential(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        subset = {k: cli.EXPERIMENTS[k] for k in ("table6", "table5")}
+        monkeypatch.setattr(cli, "EXPERIMENTS", subset)
+        assert cli.main(
+            ["run", "all", "--sanitize", "--jobs", "2", "--json"]
+        ) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert cli.main(["run", "all", "--sanitize", "--json"]) == 0
+        sequential = json.loads(capsys.readouterr().out)
+        assert all("sanitizer" in entry for entry in parallel)
+        assert parallel == sequential

@@ -14,9 +14,15 @@ and comparing everything that is visible: monitor histograms, the full
 machine metrics registry, and engine dispatch counts.
 """
 
+import random
+
 import pytest
 
-from repro.hardware import fastpath
+from repro.config import NetworkConfig
+from repro.hardware import fastpath, sanitize
+from repro.hardware.engine import Engine
+from repro.hardware.network import OmegaNetwork
+from repro.hardware.packet import Packet, PacketKind
 from repro.kernels.tridiag_matvec import measure_tridiag
 from repro.kernels.vector_load import measure_vector_load
 from repro.metrics.bench import build_snapshot
@@ -84,3 +90,83 @@ def test_parallel_snapshot_identical_to_sequential():
     parallel = build_snapshot(keys, 0, trace=True, jobs=4)
     assert list(parallel["experiments"]) == keys  # key order, not completion
     assert _strip_self_profile(sequential) == _strip_self_profile(parallel)
+
+
+def _fuzz_network_run(seed):
+    """Random traffic through a 2-stage network of 4x4 crossbars.
+
+    Runs with the sanitizer armed (its checks must neither perturb the
+    simulation nor fire) and returns every observable: the exact delivery
+    stream (port, packet id, cycle), the dispatch count, and occupancy.
+    """
+    rng = random.Random(seed)
+    flows = [
+        (rng.randrange(16), rng.randrange(16), rng.randint(1, 4))
+        for _ in range(rng.randint(30, 120))
+    ]
+    with sanitize.sanitizing() as sanitizer:
+        engine = Engine()
+        network = OmegaNetwork(
+            engine, 16, NetworkConfig(switch_radix=4), name="fuzz"
+        )
+        assert network.num_stages == 2
+        deliveries = []
+        for port in range(16):
+            # packet_id is a process-global counter, so the A/B runs tag
+            # packets with their per-run flow index instead.
+            network.attach_sink(
+                port,
+                lambda packet, p=port: deliveries.append(
+                    (p, packet.request_tag, engine.now)
+                ),
+            )
+        queue = [
+            Packet(
+                kind=PacketKind.READ_REQUEST,
+                source=source,
+                destination=destination,
+                address=destination,
+                words=words,
+                request_tag=index,
+            )
+            for index, (source, destination, words) in enumerate(flows)
+        ]
+
+        def pump():
+            remaining = [
+                packet for packet in queue
+                if not network.try_inject(packet.source, packet)
+            ]
+            queue[:] = remaining
+            if remaining:
+                engine.schedule(1, pump)
+
+        engine.schedule(0, pump)
+        engine.run_until_idle()
+    sanitizer.finalize()
+    assert sanitizer.violations == 0
+    assert len(deliveries) == len(flows)
+    return tuple(deliveries), engine.events_dispatched, network.occupancy_words()
+
+
+@pytest.mark.parametrize("seed", [0, 7, 1993])
+def test_fuzzed_network_fastpath_on_off_identical(seed):
+    """Differential fuzz: CEDAR_FASTPATH=0 vs 1, sanitizer armed in both.
+
+    The masked-wake and batched-dispatch rewrites must be invisible under
+    arbitrary contention: byte-identical delivery streams and identical
+    ``events_dispatched``.
+    """
+    previous = fastpath.set_enabled(True)
+    try:
+        fast = _fuzz_network_run(seed)
+    finally:
+        fastpath.set_enabled(previous)
+    previous = fastpath.set_enabled(False)
+    try:
+        legacy = _fuzz_network_run(seed)
+    finally:
+        fastpath.set_enabled(previous)
+    assert fast[0] == legacy[0]  # (port, packet_id, cycle) stream
+    assert fast[1] == legacy[1]  # events_dispatched
+    assert fast[2] == legacy[2] == 0  # network fully drained
