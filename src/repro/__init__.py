@@ -37,7 +37,10 @@ from repro.model.machine_model import CedarMachineModel
 
 __version__ = "1.0.0"
 
+from repro.version import version_fingerprint  # noqa: E402  (needs __version__)
+
 __all__ = [
+    "version_fingerprint",
     "CedarConfig",
     "DEFAULT_CONFIG",
     "CedarMachine",

@@ -17,23 +17,28 @@ Usage::
     cedar-repro bench                # full suite -> BENCH_<n>.json snapshot
                                      # + regression report vs the previous one
     cedar-repro bench --quick        # sub-minute subset (CI gate)
+    cedar-repro serve --jobs 4 --cache-dir .cedar-cache
+                                     # simulation-as-a-service: HTTP/JSON job
+                                     # server with a deterministic result
+                                     # cache and request coalescing
+    cedar-repro submit table2 --watch
+                                     # run table2 on the server (progress
+                                     # events on stderr, result on stdout)
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
-import dataclasses
 import difflib
-import enum
 import io
 import json
-import multiprocessing
 import pstats
 import sys
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import BenchError
+from repro import results as results_mod
+from repro.errors import BenchError, WorkerCrashError
 from repro.experiments.registry import (
     EXPERIMENTS,
     QUICK_EXPERIMENTS,
@@ -42,8 +47,10 @@ from repro.experiments.registry import (
 )
 from repro.hardware import sanitize
 from repro.metrics import bench as bench_mod
+from repro.parallel import parallel_map
 from repro.trace import Tracer, utilization_report, write_chrome_trace
 from repro.validate import run_experiment_sanitized
+from repro.version import version_fingerprint
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -190,6 +197,79 @@ def _build_parser() -> argparse.ArgumentParser:
         help="bench experiments in N worker processes; the snapshot is "
         "byte-identical for any N (modulo self_profile wall-clock)",
     )
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service HTTP/JSON job server "
+        "(deterministic result cache + request coalescing)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8737,
+        help="bind port (default 8737; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="run up to N simulations concurrently, one worker process "
+        "each (default 2)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="spill the content-addressed result cache to DIR so a "
+        "restarted server keeps its warm set (default: memory only)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="shed submissions with 503 once N jobs are queued (default 64)",
+    )
+    submit = sub.add_parser(
+        "submit",
+        help="submit an experiment to a running `cedar-repro serve` and "
+        "print the result document",
+    )
+    submit.add_argument(
+        "experiment", help="experiment key from 'list', or 'all' (a sweep)"
+    )
+    submit.add_argument("--host", default="127.0.0.1", help="server address")
+    submit.add_argument(
+        "--port", type=int, default=8737, help="server port (default 8737)"
+    )
+    submit.add_argument(
+        "--config",
+        metavar="JSON",
+        default=None,
+        help="config overrides as a JSON object, e.g. "
+        "'{\"sanitize\": true}'",
+    )
+    submit.add_argument(
+        "--watch",
+        action="store_true",
+        help="stream the job's progress events to stderr while waiting",
+    )
+    submit.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the result document(s) to FILE instead of stdout",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="give up waiting for the job after this long (default 600)",
+    )
     return parser
 
 
@@ -205,30 +285,10 @@ def _unknown_experiment(key: str) -> int:
     return 2
 
 
-def _json_key(key: object) -> str:
-    if isinstance(key, str):
-        return key
-    if isinstance(key, (tuple, list)):
-        return "/".join(str(part) for part in key)
-    return str(key)
-
-
-def _jsonable(value: object) -> object:
-    """Best-effort conversion of experiment results to JSON-safe data."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            field.name: _jsonable(getattr(value, field.name))
-            for field in dataclasses.fields(value)
-        }
-    if isinstance(value, enum.Enum):
-        return _jsonable(value.value)
-    if isinstance(value, dict):
-        return {_json_key(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple, set, frozenset)):
-        return [_jsonable(item) for item in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return repr(value)
+#: Kept under their historical private names; the canonical definitions
+#: moved to :mod:`repro.results` so the serve tier shares them.
+_json_key = results_mod.json_key
+_jsonable = results_mod.jsonable
 
 
 def _profile_top(profiler: cProfile.Profile, top: int) -> List[Dict[str, object]]:
@@ -335,14 +395,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             # byte-identical to the sequential run.
             rendered: Dict[str, str] = {}
             summaries: Dict[str, Optional[Dict]] = {}
-            with multiprocessing.Pool(
-                processes=min(args.jobs, len(keys)), maxtasksperchild=1
-            ) as pool:
-                for key, text, _, summary in pool.imap_unordered(
-                    _run_worker, tasks
-                ):
-                    rendered[key] = text
-                    summaries[key] = summary
+            for _, (key, text, _, summary) in parallel_map(
+                _run_worker, [(key, task) for key, task in zip(keys, tasks)],
+                jobs=min(args.jobs, len(keys)),
+            ):
+                rendered[key] = text
+                summaries[key] = summary
             for key in keys:
                 print(rendered[key])
                 if summaries[key] is not None:
@@ -362,28 +420,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     results = []
     if parallel:
         records: Dict[str, Dict[str, object]] = {}
-        with multiprocessing.Pool(
-            processes=min(args.jobs, len(keys)), maxtasksperchild=1
-        ) as pool:
-            for key, text, data, summary in pool.imap_unordered(
-                _run_worker, tasks
-            ):
-                if args.out:
-                    print(f"finished {key}", file=sys.stderr)
-                records[key] = {
-                    "experiment": key,
-                    "description": EXPERIMENTS[key].description,
-                    "result": data,
-                    "rendered": text,
-                }
-                if summary is not None:
-                    records[key]["sanitizer"] = summary
+        for _, (key, text, data, summary) in parallel_map(
+            _run_worker, [(key, task) for key, task in zip(keys, tasks)],
+            jobs=min(args.jobs, len(keys)),
+        ):
+            if args.out:
+                print(f"finished {key}", file=sys.stderr)
+            records[key] = {
+                "experiment": key,
+                "description": EXPERIMENTS[key].description,
+                "result": data,
+                "rendered": text,
+            }
+            if summary is not None:
+                records[key]["sanitizer"] = summary
         results = [records[key] for key in keys]
     else:
         for key in keys:
             if args.out:
                 print(f"running {key} ...", file=sys.stderr)
             results.append(_run_one(key, args, sanitized))
+    for record in results:
+        record["code_version"] = version_fingerprint()
 
     if args.profile and not args.json and not args.out:
         for record in results:
@@ -500,18 +558,119 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import serve_forever
+
+    def announce(server) -> None:
+        print(
+            f"cedar-repro serving on http://{server.host}:{server.port} "
+            f"({args.jobs} worker(s), cache "
+            f"{args.cache_dir or 'in-memory'})",
+            file=sys.stderr,
+        )
+
+    try:
+        asyncio.run(
+            serve_forever(
+                host=args.host,
+                port=args.port,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                queue_limit=args.queue_limit,
+                ready=announce,
+            )
+        )
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    except OSError as error:
+        print(f"cannot serve on {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.errors import ServeError
+    from repro.serve import ServeClient
+
+    config = None
+    if args.config is not None:
+        try:
+            config = json.loads(args.config)
+        except ValueError as error:
+            print(f"--config is not valid JSON: {error}", file=sys.stderr)
+            return 2
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    try:
+        response = client.submit(args.experiment, config=config)
+        documents: List[bytes] = []
+        for submitted in response["jobs"]:
+            job_id = submitted["id"]
+            if args.watch:
+                for event, data in client.events(job_id):
+                    print(f"[{job_id}] {event}: {json.dumps(data, sort_keys=True)}",
+                          file=sys.stderr)
+            final = client.wait(job_id, timeout=args.timeout)
+            if final["state"] == "failed":
+                error = final.get("error", {})
+                print(
+                    f"job {job_id} ({final['experiment']}) failed: "
+                    f"{error.get('message', 'unknown error')}",
+                    file=sys.stderr,
+                )
+                return 1
+            body, cache_status = client.result(job_id)
+            print(
+                f"job {job_id} ({final['experiment']}): {final['state']} "
+                f"[{cache_status}] in {final.get('latency_ms', 0):.0f} ms",
+                file=sys.stderr,
+            )
+            documents.append(body)
+    except ServeError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    except ConnectionError as error:
+        print(
+            f"cannot reach cedar-repro serve at {args.host}:{args.port}: "
+            f"{error}",
+            file=sys.stderr,
+        )
+        return 2
+    output = b"".join(documents)
+    if args.out:
+        with open(args.out, "wb") as stream:
+            stream.write(output)
+        print(f"wrote {len(documents)} result(s) to {args.out}",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(output.decode("utf-8"))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         for key in sorted(EXPERIMENTS):
             print(f"{key:18s} {EXPERIMENTS[key].description}")
         return 0
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "trace":
-        return _cmd_trace(args)
-    if args.command == "bench":
-        return _cmd_bench(args)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+    except WorkerCrashError as error:
+        print(str(error), file=sys.stderr)
+        if error.worker_traceback:
+            print(error.worker_traceback, file=sys.stderr)
+        return 1
     return 2
 
 

@@ -50,6 +50,45 @@ class SanitizerError(SimulationError):
         super().__init__(text)
 
 
+class WorkerCrashError(SimulationError):
+    """A parallel worker process raised or died mid-experiment.
+
+    Structured so the serving tier can mark exactly one job failed instead
+    of wedging its queue on a bare pool traceback: the experiment key the
+    worker was running, the process exit code when the worker died without
+    reporting (``None`` if it raised and reported), and the worker-side
+    traceback text when one was captured.
+    """
+
+    def __init__(
+        self,
+        experiment: str,
+        message: str,
+        exitcode=None,
+        worker_traceback=None,
+    ) -> None:
+        self.experiment = experiment
+        self.exitcode = exitcode
+        self.worker_traceback = worker_traceback
+        text = f"experiment {experiment!r}: {message}"
+        if exitcode is not None:
+            text += f" (worker exit code {exitcode})"
+        super().__init__(text)
+
+
+class ServeError(CedarError):
+    """A serving-tier request was malformed or cannot be satisfied.
+
+    ``status`` is the HTTP status the server maps the error to (400 for
+    malformed requests, 404 for unknown jobs/experiments, 503 when the job
+    queue is full).
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        self.status = status
+        super().__init__(message)
+
+
 class ProgramError(CedarError):
     """A Cedar program (lang layer) is malformed."""
 

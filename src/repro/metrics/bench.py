@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import gc
 import json
-import multiprocessing
 import os
 import re
 import time
@@ -40,7 +39,9 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.errors import BenchError
 from repro.metrics.collector import MonitorCatcher, collect_tracer
 from repro.metrics.registry import MetricsRegistry
+from repro.parallel import parallel_map
 from repro.trace import Tracer, tracing
+from repro.version import version_fingerprint
 
 SCHEMA = "cedar-repro-bench"
 SCHEMA_VERSION = 1
@@ -140,10 +141,10 @@ def bench_experiment(key: str, trace: bool = True) -> Dict[str, object]:
     }
 
 
-def _bench_worker(task: Tuple[str, bool]) -> Tuple[str, Dict[str, object]]:
+def _bench_worker(task: Tuple[str, bool]) -> Dict[str, object]:
     """Worker-process entry: run one experiment, return its section."""
     key, trace = task
-    return key, bench_experiment(key, trace=trace)
+    return bench_experiment(key, trace=trace)
 
 
 def build_snapshot(
@@ -163,15 +164,14 @@ def build_snapshot(
     """
     experiments: Dict[str, object] = {}
     if jobs > 1 and len(keys) > 1:
-        with multiprocessing.Pool(
-            processes=min(jobs, len(keys)), maxtasksperchild=1
-        ) as pool:
-            sections = {}
-            tasks = [(key, trace) for key in keys]
-            for key, section in pool.imap_unordered(_bench_worker, tasks):
-                if progress is not None:
-                    progress(key)
-                sections[key] = section
+        sections = {}
+        tasks = [(key, (key, trace)) for key in keys]
+        for key, section in parallel_map(
+            _bench_worker, tasks, jobs=min(jobs, len(keys))
+        ):
+            if progress is not None:
+                progress(key)
+            sections[key] = section
         for key in keys:  # deterministic order regardless of completion
             experiments[key] = sections[key]
     else:
@@ -184,6 +184,7 @@ def build_snapshot(
         "schema_version": SCHEMA_VERSION,
         "snapshot": snapshot_index,
         "traced": trace,
+        "code_version": version_fingerprint(),
         "experiments": experiments,
     }
 

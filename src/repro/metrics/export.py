@@ -107,8 +107,21 @@ _SAMPLE_RE = re.compile(
 _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 
+_ESCAPE_RE = re.compile(r"\\(.)")
+_ESCAPES = {"n": "\n", '"': '"', "\\": "\\"}
+
+
 def _unescape(value: str) -> str:
-    return value.replace(r"\n", "\n").replace(r"\"", '"').replace(r"\\", "\\")
+    # Single pass over escape sequences.  Chained str.replace calls corrupt
+    # values where one replacement manufactures another's pattern: the
+    # two-character value `\` + `n` escapes to `\\n`, which a leading
+    # replace(r"\n", "\n") would turn into `\` + newline.  With /metrics
+    # serving externally supplied config strings as labels, such values are
+    # reachable from the wire, not just from tests.
+    return _ESCAPE_RE.sub(
+        lambda match: _ESCAPES.get(match.group(1), "\\" + match.group(1)),
+        value,
+    )
 
 
 def parse_prometheus(text: str) -> Dict[str, float]:

@@ -1,0 +1,200 @@
+"""Process-per-task parallel runner with structured crash reporting.
+
+This replaces the bare ``multiprocessing.Pool`` behind ``--jobs N`` (both
+``cedar-repro run`` and ``cedar-repro bench``) and backs the serving
+tier's job execution.  Three properties matter and the stock pool gives
+none of them:
+
+* **A worker exception surfaces as a structured error.**  The child
+  catches everything, ships ``(experiment, repr, traceback)`` back, and
+  the parent raises :class:`~repro.errors.WorkerCrashError` carrying the
+  experiment key -- not a pickled traceback proxy of unknown type.
+* **A dead worker surfaces instead of wedging the queue.**  If a child is
+  killed (OOM, segfault in an extension, ``os._exit``) before reporting,
+  ``Pool.imap_unordered`` waits forever for a result that will never
+  come.  Here the parent polls child liveness whenever the result queue
+  is idle and raises :class:`WorkerCrashError` with the exit code.
+* **Workers can stream events.**  :func:`run_in_process` gives the child
+  an ``emit`` callback whose payloads are forwarded to the parent's
+  ``on_event`` as they happen -- the transport for the serve tier's
+  per-job progress stream off the trace bus.
+
+Each task runs in a fresh process (the ``maxtasksperchild=1`` policy the
+pool paths already used), so simulator state can never leak between
+experiments.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import traceback
+from typing import Callable, Iterator, Optional, Sequence, Tuple
+
+from repro.errors import WorkerCrashError
+
+#: How long the parent keeps draining the result queue after noticing a
+#: dead child, before declaring the result lost.  A child that exited
+#: cleanly flushes its queue feeder at interpreter exit, so anything it
+#: reported becomes readable well within this window.
+_DRAIN_SECONDS = 1.0
+
+#: Poll interval for the combined "result or dead worker" wait.
+_POLL_SECONDS = 0.1
+
+
+def _child_main(worker, key, payload, channel, streams_events) -> None:
+    """Child-process entry: run one task, report exactly one terminal message."""
+    try:
+        if streams_events:
+            def emit(data: object) -> None:
+                channel.put(("event", key, data))
+
+            result = worker(payload, emit)
+        else:
+            result = worker(payload)
+    except BaseException as error:  # report, don't let it vanish with the process
+        channel.put(("error", key, repr(error), traceback.format_exc()))
+    else:
+        channel.put(("ok", key, result))
+
+
+class _TaskProcesses:
+    """Bookkeeping shared by :func:`run_in_process` and :func:`parallel_map`."""
+
+    def __init__(self) -> None:
+        self.context = multiprocessing.get_context()
+        self.channel = self.context.Queue()
+        self.active: dict = {}  # key -> Process
+        self.done: set = set()  # keys whose terminal message arrived
+
+    def spawn(self, worker, key, payload, streams_events: bool) -> None:
+        process = self.context.Process(
+            target=_child_main,
+            args=(worker, key, payload, self.channel, streams_events),
+            daemon=True,
+        )
+        process.start()
+        self.active[key] = process
+
+    def dead_worker(self) -> Optional[Tuple[str, int]]:
+        """A (key, exitcode) whose process died without a terminal message."""
+        for key, process in self.active.items():
+            if key not in self.done and not process.is_alive():
+                process.join()
+                return key, process.exitcode
+        return None
+
+    def next_message(self) -> Tuple:
+        """Block for the next message; raise on a silently dead worker."""
+        while True:
+            try:
+                return self.channel.get(timeout=_POLL_SECONDS)
+            except queue_mod.Empty:
+                pass
+            dead = self.dead_worker()
+            if dead is None:
+                continue
+            # The child may have flushed its report into the pipe in the
+            # instant before we saw it die -- drain before declaring loss.
+            deadline = int(_DRAIN_SECONDS / _POLL_SECONDS)
+            for _ in range(deadline):
+                try:
+                    return self.channel.get(timeout=_POLL_SECONDS)
+                except queue_mod.Empty:
+                    continue
+            key, exitcode = dead
+            del self.active[key]
+            raise WorkerCrashError(
+                key,
+                "worker process died before reporting a result",
+                exitcode=exitcode,
+            )
+
+    def reap(self, key) -> None:
+        self.done.add(key)
+        process = self.active.pop(key, None)
+        if process is not None:
+            process.join()
+
+    def terminate_all(self) -> None:
+        for process in self.active.values():
+            if process.is_alive():
+                process.terminate()
+        for process in self.active.values():
+            process.join()
+        self.active.clear()
+        self.channel.close()
+
+
+def run_in_process(
+    worker: Callable[[object, Callable[[object], None]], object],
+    key: str,
+    payload: object,
+    on_event: Optional[Callable[[object], None]] = None,
+) -> object:
+    """Run ``worker(payload, emit)`` in a fresh process; return its result.
+
+    Every ``emit(data)`` call in the child is forwarded to ``on_event`` in
+    the parent, in order, before the result is returned.  A worker
+    exception or silent death raises :class:`WorkerCrashError` tagged with
+    ``key``.  Blocking -- the serve tier calls this from an executor
+    thread, one per in-flight job.
+    """
+    tasks = _TaskProcesses()
+    try:
+        tasks.spawn(worker, key, payload, streams_events=True)
+        while True:
+            message = tasks.next_message()
+            kind = message[0]
+            if kind == "event":
+                if on_event is not None:
+                    on_event(message[2])
+                continue
+            tasks.reap(message[1])
+            if kind == "error":
+                raise WorkerCrashError(
+                    key, message[2], worker_traceback=message[3]
+                )
+            return message[2]
+    finally:
+        tasks.terminate_all()
+
+
+def parallel_map(
+    worker: Callable[[object], object],
+    tasks: Sequence[Tuple[str, object]],
+    jobs: int,
+) -> Iterator[Tuple[str, object]]:
+    """Run ``worker(payload)`` for every ``(key, payload)`` task.
+
+    Up to ``jobs`` single-shot worker processes run at once; results are
+    yielded ``(key, result)`` in completion order (collect into a dict and
+    re-walk your key order for deterministic output, as the CLI and bench
+    merge paths do).  The first worker exception or death raises
+    :class:`WorkerCrashError` for its experiment; remaining workers are
+    terminated.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    pool = _TaskProcesses()
+    pending = list(tasks)
+    pending.reverse()  # pop() from the front of the caller's order
+    try:
+        while pending and len(pool.active) < jobs:
+            key, payload = pending.pop()
+            pool.spawn(worker, key, payload, streams_events=False)
+        remaining = len(pool.active) + len(pending)
+        while remaining:
+            message = pool.next_message()
+            kind, key = message[0], message[1]
+            pool.reap(key)
+            if kind == "error":
+                raise WorkerCrashError(key, message[2], worker_traceback=message[3])
+            if pending:
+                next_key, next_payload = pending.pop()
+                pool.spawn(worker, next_key, next_payload, streams_events=False)
+            remaining -= 1
+            yield key, message[2]
+    finally:
+        pool.terminate_all()

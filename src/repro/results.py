@@ -1,0 +1,46 @@
+"""Canonical JSON forms of experiment results.
+
+Shared by the CLI (``run --json``) and the serving tier, which must agree
+on result bytes: the serve cache stores the exact document a job produced
+and replays it on a hit, so serialization has to be deterministic -- keys
+sorted, one canonical rendering -- and identical no matter which entry
+point produced it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from typing import Mapping
+
+
+def json_key(key: object) -> str:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, (tuple, list)):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def jsonable(value: object) -> object:
+    """Best-effort conversion of experiment results to JSON-safe data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return jsonable(value.value)
+    if isinstance(value, dict):
+        return {json_key(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def canonical_bytes(record: Mapping[str, object]) -> bytes:
+    """The one serialized form of a result record (sorted keys, LF-ended)."""
+    return (json.dumps(record, indent=2, sort_keys=True) + "\n").encode("utf-8")

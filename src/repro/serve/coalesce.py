@@ -1,0 +1,58 @@
+"""Request coalescing: N identical in-flight requests, one simulation.
+
+A request whose cache key matches a job that is already queued or running
+does not enqueue a second simulation; it *follows* the in-flight leader
+and is resolved with the leader's bytes when the leader finishes.  This is
+sound for the same reason the cache is: the cache key fully determines a
+byte-deterministic result, so the follower would have computed exactly the
+leader's bytes anyway.
+
+The coalescer itself is a plain mapping ``cache_key -> (leader job id,
+follower job ids)``; all mutation happens on the server's single event
+loop, so there is no locking here.  The job registry owns the lifecycle:
+it registers a leader when a cache miss is enqueued, attaches followers,
+and settles them (success *or* failure -- a crashed leader fails its
+followers rather than stranding them) when the leader completes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Coalescer:
+    """In-flight leaders and their followers, by cache key."""
+
+    def __init__(self) -> None:
+        self._leaders: Dict[str, str] = {}
+        self._followers: Dict[str, List[str]] = {}
+
+    def leader(self, cache_key: str) -> Optional[str]:
+        """The in-flight leader job id for ``cache_key``, if any."""
+        return self._leaders.get(cache_key)
+
+    def lead(self, cache_key: str, job_id: str) -> None:
+        """Register ``job_id`` as the single in-flight run of ``cache_key``."""
+        if cache_key in self._leaders:
+            raise ValueError(
+                f"cache key {cache_key[:12]}... already has leader "
+                f"{self._leaders[cache_key]}"
+            )
+        self._leaders[cache_key] = job_id
+        self._followers[cache_key] = []
+
+    def follow(self, cache_key: str, job_id: str) -> str:
+        """Attach ``job_id`` to the in-flight leader; returns the leader id."""
+        leader = self._leaders.get(cache_key)
+        if leader is None:
+            raise ValueError(f"no in-flight leader for {cache_key[:12]}...")
+        self._followers[cache_key].append(job_id)
+        return leader
+
+    def settle(self, cache_key: str) -> List[str]:
+        """The leader finished: forget the key, return the follower ids."""
+        self._leaders.pop(cache_key, None)
+        return self._followers.pop(cache_key, [])
+
+    def in_flight(self) -> int:
+        return len(self._leaders)

@@ -1,0 +1,124 @@
+"""Child-process side of a serve job: run one experiment, stream progress.
+
+:func:`execute_job` is the function :func:`repro.parallel.run_in_process`
+spawns per job.  It applies the job's config (fast-path engine selection,
+sanitizer arming), runs the experiment with a progress-forwarding tracer
+on the ambient trace bus, and returns the canonical result document bytes
+the server caches and serves.
+
+Progress comes off the trace bus, not a wall clock: every machine the
+experiment driver builds attaches to the ambient tracer, and
+:class:`ProgressTracer` forwards a throttled summary every
+``PROGRESS_INTERVAL`` trace records (plus an event per epoch, i.e. per
+machine/kernel the driver runs).  Record counts are deterministic, so two
+runs of the same job emit the same progress stream -- the serving tier
+adds no nondeterminism of its own.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.results import canonical_bytes, jsonable
+from repro.trace import Tracer, tracing
+from repro.version import version_fingerprint
+
+#: Emit one progress event per this many trace records.  Cycle-level
+#: experiments produce millions of records; this keeps the event stream
+#: in the tens of events, cheap enough to forward over a pipe per job.
+PROGRESS_INTERVAL = 250_000
+
+Emit = Callable[[object], None]
+
+
+class ProgressTracer(Tracer):
+    """A trace bus that forwards throttled progress instead of recording.
+
+    The record store stays empty (a serve job must not hold a 1M-record
+    timeline per in-flight request); counter totals, busy-cycle and epoch
+    aggregates still accumulate exactly as in a recording tracer, because
+    components feed them before the store is consulted.
+    """
+
+    def __init__(self, emit: Emit) -> None:
+        super().__init__(enabled=True)
+        self._emit = emit
+        self.records_seen = 0
+
+    def set_clock(self, clock) -> None:
+        super().set_clock(clock)
+        self._emit({"type": "epoch", "epoch": self.epoch})
+
+    def _record(self, record: object) -> None:
+        self.records_seen += 1
+        if self.records_seen % PROGRESS_INTERVAL == 0:
+            cycle = self._elapsed.get(self.epoch, 0)
+            self._emit(
+                {
+                    "type": "progress",
+                    "records": self.records_seen,
+                    "epoch": self.epoch,
+                    "cycle": cycle,
+                }
+            )
+
+
+def build_record(
+    experiment_key: str,
+    config: Dict[str, bool],
+    emit: Optional[Emit] = None,
+) -> Dict[str, object]:
+    """Run one experiment under ``config`` and build its result record.
+
+    The record is the ``run --json`` shape plus the job's canonical config
+    and the code-version fingerprint, so a cached document is
+    self-describing: it names the experiment, the exact knobs, and the
+    code that produced it.
+    """
+    from repro.experiments.registry import get_experiment
+    from repro.hardware import fastpath
+    from repro.validate import run_experiment_sanitized
+
+    if emit is None:
+        emit = lambda data: None  # noqa: E731
+    experiment = get_experiment(experiment_key)
+    previous_fastpath = fastpath.set_enabled(config.get("fastpath", True))
+    try:
+        tracer = ProgressTracer(emit)
+        emit({"type": "running", "experiment": experiment_key, "config": config})
+        with tracing(tracer):
+            if config.get("sanitize", False):
+                rendered, result, summary = run_experiment_sanitized(
+                    experiment_key
+                )
+            else:
+                result = experiment.run()
+                rendered = experiment.render(result)
+                summary = None
+    finally:
+        fastpath.set_enabled(previous_fastpath)
+    record: Dict[str, object] = {
+        "experiment": experiment_key,
+        "description": experiment.description,
+        "config": dict(config),
+        "code_version": version_fingerprint(),
+        "result": jsonable(result),
+        "rendered": rendered,
+    }
+    if summary is not None:
+        record["sanitizer"] = summary
+    emit(
+        {
+            "type": "finished",
+            "experiment": experiment_key,
+            "trace_records": tracer.records_seen,
+        }
+    )
+    return record
+
+
+def execute_job(payload: Dict[str, object], emit: Emit) -> bytes:
+    """Worker-process entry point: payload -> canonical result bytes."""
+    return canonical_bytes(
+        build_record(str(payload["experiment"]), dict(payload["config"]), emit)
+    )

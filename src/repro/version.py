@@ -1,0 +1,64 @@
+"""Code-version fingerprinting for caches and result provenance.
+
+The simulator is byte-deterministic for a *fixed* source tree, so a result
+is identified by (experiment, config, code version).  The first two are
+request data; this module supplies the third: a stable hash over every
+``.py`` file of the installed :mod:`repro` package plus ``__version__``.
+The serve tier folds it into content-addressed cache keys (stale results
+become unreachable the moment the code changes), and ``run --json``
+records and BENCH snapshots embed it so archived numbers say which code
+produced them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Iterator, Optional, Tuple
+
+_cached: Optional[str] = None
+
+
+def _package_root() -> str:
+    return os.path.dirname(os.path.abspath(__file__))
+
+
+def _source_files(root: str) -> Iterator[Tuple[str, str]]:
+    """(relative posix path, absolute path) of every .py file, sorted."""
+    found = []
+    for directory, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                absolute = os.path.join(directory, name)
+                relative = os.path.relpath(absolute, root).replace(os.sep, "/")
+                found.append((relative, absolute))
+    return iter(sorted(found))
+
+
+def fingerprint_tree(root: str, version: str = "") -> str:
+    """Hex digest over a source tree: (path, contents) pairs plus ``version``."""
+    digest = hashlib.sha256()
+    digest.update(version.encode("utf-8") + b"\x00")
+    for relative, absolute in _source_files(root):
+        digest.update(relative.encode("utf-8") + b"\x00")
+        with open(absolute, "rb") as stream:
+            digest.update(stream.read())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def version_fingerprint(refresh: bool = False) -> str:
+    """``<__version__>+<16 hex chars>`` identifying the installed code.
+
+    Computed once per process and cached (the tree cannot change under a
+    running interpreter in any way that matters to results); ``refresh``
+    forces recomputation for tests.
+    """
+    global _cached
+    if _cached is None or refresh:
+        from repro import __version__
+
+        digest = fingerprint_tree(_package_root(), __version__)
+        _cached = f"{__version__}+{digest[:16]}"
+    return _cached

@@ -80,6 +80,70 @@ class TestPrometheusRoundTrip:
             parse_prometheus("metric_name not_a_number")
 
 
+class TestHostileLabelValues:
+    """Round trips for label values an external submitter controls.
+
+    `GET /metrics` on the serve tier exposes request-supplied strings as
+    label values, so the exporter/parser pair must survive anything a
+    client can put in a JSON string -- not just the polite values the
+    simulator generates itself.
+    """
+
+    HOSTILE = [
+        "line1\nline2",            # embedded newline
+        "\n",                      # newline only
+        "back\\slash",             # lone backslash
+        "\\n",                     # backslash followed by n (not a newline!)
+        "\\\\n",                   # two backslashes then n
+        'quote"inside',            # double quote
+        '"',                       # quote only
+        "",                        # empty value
+        "trailing\\",              # trailing backslash
+        'mix"\\\n"end',            # everything at once
+        "a}b{c",                   # braces (never escaped by the format)
+        "comma,equals=x",          # label-syntax lookalikes
+        "café ☃",        # non-ASCII survives utf-8 round trip
+    ]
+
+    def test_each_hostile_value_round_trips(self):
+        for value in self.HOSTILE:
+            registry = MetricsRegistry()
+            registry.gauge("g", {"v": value}).set(1.5)
+            samples = parse_prometheus(prometheus_text(registry))
+            assert samples == {"g{v=" + value + "}": 1.5}, repr(value)
+
+    def test_all_hostile_values_in_one_exposition(self):
+        registry = MetricsRegistry()
+        for index, value in enumerate(self.HOSTILE):
+            registry.counter(
+                "hostile_total", {"v": value, "i": str(index)}
+            ).inc(index + 1)
+        samples = parse_prometheus(prometheus_text(registry))
+        assert len(samples) == len(self.HOSTILE)
+        assert sum(samples.values()) == sum(
+            index + 1 for index in range(len(self.HOSTILE))
+        )
+
+    def test_backslash_n_distinct_from_newline(self):
+        # The literal two-character sequence and a real newline must not
+        # collapse to the same series after a round trip.
+        registry = MetricsRegistry()
+        registry.gauge("g", {"v": "\\n"}).set(1)
+        registry.gauge("g", {"v": "\n"}).set(2)
+        samples = parse_prometheus(prometheus_text(registry))
+        assert samples["g{v=\\n}"] == 1
+        assert samples["g{v=\n}"] == 2
+
+    def test_hostile_values_in_histogram_labels(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", {"cfg": 'a"\\\nz'})
+        for value in (1, 2, 4):
+            histogram.observe(value)
+        samples = parse_prometheus(prometheus_text(registry))
+        assert samples['lat_count{cfg=a"\\\nz}'] == 3
+        assert samples['lat_sum{cfg=a"\\\nz}'] == 7
+
+
 class TestJsonl:
     def test_lines_are_self_describing_json(self):
         registry = populated_registry()

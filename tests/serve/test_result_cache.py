@@ -1,0 +1,76 @@
+"""Tests for the content-addressed result cache (repro.serve.cache)."""
+
+import os
+
+from repro.serve import ResultCache
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+
+class TestMemoryOnly:
+    def test_get_put_round_trip(self):
+        cache = ResultCache()
+        assert cache.get(KEY_A) is None
+        cache.put(KEY_A, b"payload")
+        assert cache.get(KEY_A) == b"payload"
+        assert KEY_A in cache
+        assert KEY_B not in cache
+
+    def test_len_and_keys(self):
+        cache = ResultCache()
+        cache.put(KEY_B, b"2")
+        cache.put(KEY_A, b"1")
+        assert len(cache) == 2
+        assert cache.keys() == [KEY_A, KEY_B]
+
+    def test_overwrite_replaces(self):
+        cache = ResultCache()
+        cache.put(KEY_A, b"old")
+        cache.put(KEY_A, b"new")
+        assert cache.get(KEY_A) == b"new"
+        assert len(cache) == 1
+
+
+class TestDiskSpill:
+    def test_entries_spill_to_named_files(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(KEY_A, b"payload")
+        assert (tmp_path / f"{KEY_A}.json").read_bytes() == b"payload"
+
+    def test_restarted_server_keeps_warm_set(self, tmp_path):
+        ResultCache(str(tmp_path)).put(KEY_A, b"payload")
+        reloaded = ResultCache(str(tmp_path))
+        assert reloaded.get(KEY_A) == b"payload"
+        assert reloaded.keys() == [KEY_A]
+
+    def test_disk_fallback_populates_memory(self, tmp_path):
+        ResultCache(str(tmp_path)).put(KEY_A, b"payload")
+        reloaded = ResultCache(str(tmp_path))
+        assert reloaded.get(KEY_A) == b"payload"
+        # Second read served from memory even if the file disappears.
+        os.unlink(tmp_path / f"{KEY_A}.json")
+        assert reloaded.get(KEY_A) == b"payload"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(KEY_A, b"1")
+        cache.put(KEY_B, b"2")
+        assert sorted(os.listdir(tmp_path)) == [
+            f"{KEY_A}.json",
+            f"{KEY_B}.json",
+        ]
+
+    def test_keys_ignores_foreign_files(self, tmp_path):
+        (tmp_path / "README.txt").write_text("not a cache entry")
+        (tmp_path / "nothex.json").write_text("{}")
+        cache = ResultCache(str(tmp_path))
+        cache.put(KEY_A, b"1")
+        assert cache.keys() == [KEY_A]
+
+    def test_directory_created_if_missing(self, tmp_path):
+        target = tmp_path / "nested" / "cache"
+        cache = ResultCache(str(target))
+        cache.put(KEY_A, b"1")
+        assert cache.get(KEY_A) == b"1"
+        assert target.is_dir()

@@ -1,0 +1,303 @@
+"""End-to-end tests for the serve HTTP tier.
+
+The server runs on a background thread with its own event loop; tests
+talk to it through :class:`repro.serve.ServeClient` -- the same code path
+``cedar-repro submit`` and the CI smoke job use.  Most tests inject a
+stub executor so they are fast and deterministic; two tests run a real
+(small) simulation to pin down the acceptance criteria: a warm-cache
+result is byte-identical to the cold run, and N concurrent identical
+submissions cost exactly one simulation.
+"""
+
+import asyncio
+import concurrent.futures
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServeError, WorkerCrashError
+from repro.metrics import MetricsRegistry, parse_prometheus
+from repro.serve import JobRegistry, JobServer, ResultCache, ServeClient
+from repro.version import version_fingerprint
+
+
+class StubExecutor:
+    """Injected executor: records calls, optionally blocks or fails."""
+
+    def __init__(self):
+        self.calls = []
+        self.gate = None
+        self.failure = None
+
+    async def __call__(self, job, post):
+        self.calls.append(job.id)
+        if self.gate is not None:
+            await self.gate.wait()
+        if self.failure is not None:
+            raise self.failure
+        post("progress", {"records": 1})
+        return b"stub:" + job.cache_key.encode()
+
+
+class ServerThread:
+    """A JobServer on a dedicated thread + event loop, bound to port 0."""
+
+    def __init__(self, registry=None, jobs=1, queue_limit=64, cache_dir=None):
+        self.server = JobServer(
+            port=0, jobs=jobs, queue_limit=queue_limit,
+            cache_dir=cache_dir, registry=registry,
+        )
+        self.loop = asyncio.new_event_loop()
+        self._stop = asyncio.Event()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="serve-test", daemon=True
+        )
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self._main())
+        self.loop.close()
+
+    async def _main(self):
+        await self.server.start()
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.server.stop()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(timeout=10), "server failed to start"
+        return self
+
+    def __exit__(self, *exc_info):
+        self.loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+
+    def call_in_loop(self, callback):
+        self.loop.call_soon_threadsafe(callback)
+
+    @property
+    def client(self):
+        return ServeClient(port=self.server.port, timeout=30)
+
+
+def stub_server(jobs=1, queue_limit=64):
+    stub = StubExecutor()
+    registry = JobRegistry(
+        ResultCache(), MetricsRegistry(),
+        jobs=jobs, queue_limit=queue_limit, execute=stub,
+    )
+    return ServerThread(registry=registry), stub
+
+
+def wait_for(predicate, timeout=10):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.01)
+
+
+class TestHttpBasics:
+    def test_healthz_and_error_routes(self):
+        server, _ = stub_server()
+        with server:
+            client = server.client
+            health = client.healthz()
+            assert health["status"] == "ok"
+            assert health["code_version"] == version_fingerprint()
+            assert health["workers"] == 1
+
+            with pytest.raises(ServeError) as info:
+                client.job("j999")
+            assert info.value.status == 404
+
+            status, _, _ = client._request("GET", "/no/such/route")
+            assert status == 404
+            status, _, _ = client._request("DELETE", "/jobs")
+            assert status == 405
+            status, _, _ = client._request("POST", "/jobs", b"{not json")
+            assert status == 400
+
+            with pytest.raises(ServeError) as info:
+                client.submit("table99")
+            assert info.value.status == 404
+            with pytest.raises(ServeError) as info:
+                client.submit("table2", config={"warp": True})
+            assert info.value.status == 400
+
+    def test_submit_wait_result_and_listing(self):
+        server, stub = stub_server()
+        with server:
+            client = server.client
+            document = client.submit("table2")
+            job_id = document["job"]["id"]
+            assert document["cache_status"] == "miss"
+
+            final = client.wait(job_id, timeout=10)
+            assert final["state"] == "done"
+            assert final["source"] == "computed"
+            body, cache_status = client.result(job_id)
+            assert cache_status == "miss"
+            assert body.startswith(b"stub:")
+
+            # Identical resubmission: synchronous cache hit, same bytes.
+            second = client.submit("table2")
+            assert second["cache_status"] == "hit"
+            assert second["job"]["state"] == "done"
+            warm, warm_status = client.result(second["job"]["id"])
+            assert warm_status == "hit"
+            assert warm == body
+            assert stub.calls == [job_id]
+
+            listed = client.jobs()
+            assert [doc["id"] for doc in listed] == [job_id, second["job"]["id"]]
+
+    def test_sweep_submission(self):
+        server, stub = stub_server(jobs=2)
+        with server:
+            client = server.client
+            document = client.submit(experiments=["table2", "table5"])
+            assert "job" not in document  # single-job shorthand absent
+            ids = [doc["id"] for doc in document["jobs"]]
+            assert len(ids) == 2
+            for job_id in ids:
+                assert client.wait(job_id, timeout=10)["state"] == "done"
+            assert sorted(stub.calls) == sorted(ids)
+
+    def test_event_stream_replays_after_completion(self):
+        server, _ = stub_server()
+        with server:
+            client = server.client
+            job_id = client.submit("table5")["job"]["id"]
+            client.wait(job_id, timeout=10)
+            events = list(client.events(job_id))
+            names = [name for name, _ in events]
+            assert names == [
+                "submitted", "queued", "running", "progress", "done", "end",
+            ]
+            done_data = dict(events)["done"]
+            assert done_data["source"] == "computed"
+
+    def test_result_conflict_while_running(self):
+        server, stub = stub_server()
+        stub.gate = asyncio.Event()
+        with server:
+            client = server.client
+            job_id = client.submit("table2")["job"]["id"]
+            with pytest.raises(ServeError) as info:
+                client.result(job_id)
+            assert info.value.status == 409
+            server.call_in_loop(stub.gate.set)
+            client.wait(job_id, timeout=10)
+
+    def test_failed_job_reports_structured_error(self):
+        server, stub = stub_server()
+        stub.failure = WorkerCrashError(
+            "table2", "simulated crash", exitcode=11, worker_traceback="tb"
+        )
+        with server:
+            client = server.client
+            job_id = client.submit("table2")["job"]["id"]
+            final = client.wait(job_id, timeout=10)
+            assert final["state"] == "failed"
+            assert final["error"]["experiment"] == "table2"
+            assert final["error"]["exitcode"] == 11
+            with pytest.raises(ServeError) as info:
+                client.result(job_id)
+            assert info.value.status == 500
+            samples = parse_prometheus(client.metrics_text())
+            assert (
+                samples["serve_jobs_failed_total{experiment=table2}"] == 1
+            )
+
+    def test_full_queue_is_503(self):
+        server, stub = stub_server(jobs=1, queue_limit=1)
+        stub.gate = asyncio.Event()
+        with server:
+            client = server.client
+            client.submit("table1")
+            wait_for(lambda: len(stub.calls) == 1)
+            client.submit("table2")
+            with pytest.raises(ServeError) as info:
+                client.submit("table5")
+            assert info.value.status == 503
+            server.call_in_loop(stub.gate.set)
+
+
+class TestCoalescingAcceptance:
+    def test_concurrent_identical_posts_cost_one_simulation(self):
+        """N concurrent identical POST /jobs -> exactly one execution."""
+        concurrency = 6
+        server, stub = stub_server(jobs=2)
+        stub.gate = asyncio.Event()
+        with server:
+            client = server.client
+            with concurrent.futures.ThreadPoolExecutor(concurrency) as pool:
+                documents = list(
+                    pool.map(
+                        lambda _: client.submit("table2"), range(concurrency)
+                    )
+                )
+            # All submissions are in (executor still gated): release the run.
+            server.call_in_loop(stub.gate.set)
+
+            ids = [doc["job"]["id"] for doc in documents]
+            bodies = set()
+            for job_id in ids:
+                assert client.wait(job_id, timeout=10)["state"] == "done"
+                bodies.add(client.result(job_id)[0])
+
+            assert len(stub.calls) == 1  # exactly one simulation ran
+            assert len(bodies) == 1  # and everyone got its bytes
+            samples = parse_prometheus(client.metrics_text())
+            assert samples["serve_coalesced_requests_total"] == concurrency - 1
+            assert samples["serve_cache_misses_total"] == 1
+            assert (
+                samples["serve_jobs_submitted_total{experiment=table2}"]
+                == concurrency
+            )
+            sources = sorted(
+                client.job(job_id)["source"] for job_id in ids
+            )
+            assert sources == ["coalesced"] * (concurrency - 1) + ["computed"]
+
+
+class TestRealSimulation:
+    """One real (small) experiment through the full stack.
+
+    This is the warm-vs-cold byte-identity acceptance test: the cold run
+    goes HTTP -> queue -> worker process -> canonical bytes, the warm run
+    is served from the content-addressed cache, and the two must match
+    exactly.
+    """
+
+    def test_cold_and_warm_results_are_byte_identical(self, tmp_path):
+        with ServerThread(jobs=1, cache_dir=str(tmp_path)) as server:
+            client = server.client
+            cold_doc = client.submit("table6")
+            assert cold_doc["cache_status"] == "miss"
+            job_id = cold_doc["job"]["id"]
+            assert client.wait(job_id, timeout=120)["state"] == "done"
+            cold, cold_status = client.result(job_id)
+            assert cold_status == "miss"
+
+            warm_doc = client.submit("table6")
+            assert warm_doc["cache_status"] == "hit"
+            warm, warm_status = client.result(warm_doc["job"]["id"])
+            assert warm_status == "hit"
+            assert warm == cold
+
+            record = json.loads(cold.decode("utf-8"))
+            assert record["experiment"] == "table6"
+            assert record["code_version"] == version_fingerprint()
+            assert record["config"] == {"fastpath": True, "sanitize": False}
+
+            samples = parse_prometheus(client.metrics_text())
+            assert samples["serve_cache_hits_total"] == 1
+            assert samples["serve_cache_misses_total"] == 1
+            assert samples["serve_job_latency_ms_count"] == 2
