@@ -10,6 +10,11 @@ Usage::
     cedar-repro run table2 --sanitize
                                      # same artifact, with every hardware
                                      # invariant machine-checked en route
+    cedar-repro run table1 table2 --jobs 2 --trace-out trace.json
+                                     # several experiments at once, each on
+                                     # its own columnar tracer; the buffers
+                                     # merge into ONE Chrome trace that is
+                                     # byte-identical for any --jobs N
     cedar-repro trace table2 --out trace.json --report
                                      # same artifact, plus machine-wide
                                      # instrumentation (Chrome trace JSON
@@ -35,6 +40,7 @@ import io
 import json
 import pstats
 import sys
+import time
 from typing import Dict, List, Optional, Tuple
 
 from repro import results as results_mod
@@ -48,7 +54,13 @@ from repro.experiments.registry import (
 from repro.hardware import sanitize
 from repro.metrics import bench as bench_mod
 from repro.parallel import parallel_map
-from repro.trace import Tracer, utilization_report, write_chrome_trace
+from repro.trace import (
+    TraceMerger,
+    Tracer,
+    tracing,
+    utilization_report,
+    write_chrome_trace,
+)
 from repro.validate import run_experiment_sanitized
 from repro.version import version_fingerprint
 
@@ -63,8 +75,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list regenerable tables/figures")
-    run = sub.add_parser("run", help="run one experiment (or 'all')")
-    run.add_argument("experiment", help="experiment key from 'list', or 'all'")
+    run = sub.add_parser("run", help="run one or more experiments (or 'all')")
+    run.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help="experiment key(s) from 'list', or 'all'",
+    )
     run.add_argument(
         "--json",
         action="store_true",
@@ -83,6 +100,16 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run independent experiments in N worker processes "
         "(output order stays deterministic)",
+    )
+    run.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="record every run on a columnar tracer and write one merged "
+        "Chrome trace-event JSON (per-worker buffers are merged "
+        "deterministically, so --jobs N output is byte-identical to "
+        "--jobs 1); with --json, each record also gains a 'trace' "
+        "telemetry section",
     )
     run.add_argument(
         "--sanitize",
@@ -329,78 +356,146 @@ def _sanitizer_line(summary: Dict[str, object]) -> str:
     )
 
 
-def _run_worker(task: Tuple[str, bool]) -> Tuple[str, str, object, Optional[Dict]]:
-    """Worker-process entry: run one experiment, return rendered + JSON data."""
-    key, sanitized = task
+def _execute_run(
+    key: str, sanitized: bool, traced: bool
+) -> Tuple[str, object, Optional[Dict], Optional[bytes], Optional[Dict]]:
+    """Run one experiment; optionally record it on a columnar tracer.
+
+    Returns ``(rendered, jsonable result, sanitizer summary, trace
+    snapshot wire bytes, trace telemetry)`` -- the last two ``None``
+    unless ``traced``.  The trace travels as wire bytes even in-process,
+    so ``--jobs 1`` and ``--jobs N`` feed the merger byte-identical
+    inputs.
+    """
+    tracer = Tracer(enabled=True) if traced else None
+    summary = None
+    began = time.perf_counter()
     if sanitized:
-        text, result, summary = run_experiment_sanitized(key)
-        return key, text, _jsonable(result), summary
-    experiment = EXPERIMENTS[key]
-    result = experiment.run()
-    return key, experiment.render(result), _jsonable(result), None
+        if tracer is not None:
+            with tracing(tracer):
+                text, result, summary = run_experiment_sanitized(key)
+        else:
+            text, result, summary = run_experiment_sanitized(key)
+    else:
+        experiment = EXPERIMENTS[key]
+        if tracer is not None:
+            with tracing(tracer):
+                result = experiment.run()
+        else:
+            result = experiment.run()
+        text = experiment.render(result)
+    trace_bytes: Optional[bytes] = None
+    trace_meta: Optional[Dict[str, object]] = None
+    if tracer is not None:
+        wall_seconds = time.perf_counter() - began
+        overhead = tracer.overhead_estimate(wall_seconds)
+        trace_bytes = tracer.snapshot().to_bytes()
+        trace_meta = {
+            "records": tracer.num_records,
+            "records_seen": tracer.records_seen,
+            "dropped": tracer.dropped,
+            "buffer_bytes": tracer.buffer_bytes,
+            "overhead_ratio": overhead["ratio"],
+            "overhead_per_record_ns": overhead["per_record_ns"],
+        }
+    return text, _jsonable(result), summary, trace_bytes, trace_meta
 
 
-def _run_one(key: str, args: argparse.Namespace, sanitized: bool) -> Dict[str, object]:
-    """Run ``key`` in-process, honouring --profile and --sanitize."""
-    experiment = EXPERIMENTS[key]
+def _run_worker(
+    task: Tuple[str, bool, bool]
+) -> Tuple[str, str, object, Optional[Dict], Optional[bytes], Optional[Dict]]:
+    """Worker-process entry: run one experiment, return rendered + JSON data."""
+    key, sanitized, traced = task
+    return (key,) + _execute_run(key, sanitized, traced)
+
+
+def _run_one(
+    key: str, args: argparse.Namespace, sanitized: bool, traced: bool
+) -> Tuple[Dict[str, object], Optional[bytes]]:
+    """Run ``key`` in-process, honouring --profile/--sanitize/--trace-out."""
     profiler = None
     if args.profile:
         profiler = cProfile.Profile()
         profiler.enable()
-    summary = None
-    if sanitized:
-        rendered, result, summary = run_experiment_sanitized(key)
-    else:
-        result = experiment.run()
-        rendered = experiment.render(result)
+    rendered, data, summary, trace_bytes, trace_meta = _execute_run(
+        key, sanitized, traced
+    )
     if profiler is not None:
         profiler.disable()
     record: Dict[str, object] = {
         "experiment": key,
-        "description": experiment.description,
-        "result": _jsonable(result),
+        "description": EXPERIMENTS[key].description,
+        "result": data,
         "rendered": rendered,
     }
     if summary is not None:
         record["sanitizer"] = summary
+    if trace_meta is not None:
+        record["trace"] = trace_meta
     if profiler is not None:
         record["profile"] = _profile_top(profiler, args.top)
-    return record
+    return record, trace_bytes
+
+
+def _write_merged_trace(
+    keys: List[str], traces: Dict[str, Optional[bytes]], path: str
+) -> None:
+    """Merge per-experiment buffers in key order; write one Chrome trace."""
+    merger = TraceMerger()
+    for key in keys:
+        buffer = traces.get(key)
+        if buffer is not None:
+            merger.add(buffer)
+    merged = merger.merge()
+    write_chrome_trace(merged, path)
+    print(
+        f"wrote merged trace ({merged.num_records} records from "
+        f"{len(merger)} experiment(s)) to {path}",
+        file=sys.stderr,
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    keys = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if "all" in args.experiments:
+        keys = sorted(EXPERIMENTS)
+    else:
+        keys = list(dict.fromkeys(args.experiments))  # dedupe, keep order
     for key in keys:
         if key not in EXPERIMENTS:
             return _unknown_experiment(key)
     if args.jobs > 1 and args.profile:
         print("--profile forces --jobs 1", file=sys.stderr)
         args.jobs = 1
-    if args.out:
+    for path in (args.out, args.trace_out):
+        if not path:
+            continue
         try:  # fail on an unwritable path before the minutes-long runs
-            open(args.out, "w", encoding="utf-8").close()
+            open(path, "w", encoding="utf-8").close()
         except OSError as error:
-            print(f"cannot write {args.out}: {error}", file=sys.stderr)
+            print(f"cannot write {path}: {error}", file=sys.stderr)
             return 2
 
     # --sanitize arms per-run invariant checking; CEDAR_SANITIZE=1 in the
     # environment implies it (and additionally arms components built by
     # anything else in the process, e.g. the bench harness).
     sanitized = args.sanitize or sanitize.enabled()
-    tasks = [(key, sanitized) for key in keys]
+    traced = args.trace_out is not None
+    tasks = [(key, sanitized, traced) for key in keys]
     parallel = args.jobs > 1 and len(keys) > 1
+    traces: Dict[str, Optional[bytes]] = {}
     if not args.json and not args.out and not args.profile:
         if parallel:
             # Collect everything, then print in key order: stdout is
             # byte-identical to the sequential run.
             rendered: Dict[str, str] = {}
             summaries: Dict[str, Optional[Dict]] = {}
-            for _, (key, text, _, summary) in parallel_map(
-                _run_worker, [(key, task) for key, task in zip(keys, tasks)],
+            for _, (key, text, _, summary, trace_bytes, _meta) in parallel_map(
+                _run_worker, list(zip(keys, tasks)),
                 jobs=min(args.jobs, len(keys)),
             ):
                 rendered[key] = text
                 summaries[key] = summary
+                traces[key] = trace_bytes
             for key in keys:
                 print(rendered[key])
                 if summaries[key] is not None:
@@ -408,20 +503,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print()
         else:
             for key in keys:
-                if sanitized:
-                    text, _, summary = run_experiment_sanitized(key)
+                if traced or sanitized:
+                    text, _, summary, trace_bytes, _meta = _execute_run(
+                        key, sanitized, traced
+                    )
+                    traces[key] = trace_bytes
                     print(text)
-                    print(_sanitizer_line(summary))
+                    if summary is not None:
+                        print(_sanitizer_line(summary))
                 else:
                     print(run_experiment(key))
                 print()
+        if traced:
+            _write_merged_trace(keys, traces, args.trace_out)
         return 0
 
     results = []
     if parallel:
         records: Dict[str, Dict[str, object]] = {}
-        for _, (key, text, data, summary) in parallel_map(
-            _run_worker, [(key, task) for key, task in zip(keys, tasks)],
+        for _, (key, text, data, summary, trace_bytes, trace_meta) in parallel_map(
+            _run_worker, list(zip(keys, tasks)),
             jobs=min(args.jobs, len(keys)),
         ):
             if args.out:
@@ -434,14 +535,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             }
             if summary is not None:
                 records[key]["sanitizer"] = summary
+            if trace_meta is not None:
+                records[key]["trace"] = trace_meta
+            traces[key] = trace_bytes
         results = [records[key] for key in keys]
     else:
         for key in keys:
             if args.out:
                 print(f"running {key} ...", file=sys.stderr)
-            results.append(_run_one(key, args, sanitized))
+            record, trace_bytes = _run_one(key, args, sanitized, traced)
+            results.append(record)
+            traces[key] = trace_bytes
     for record in results:
         record["code_version"] = version_fingerprint()
+    if traced:
+        _write_merged_trace(keys, traces, args.trace_out)
 
     if args.profile and not args.json and not args.out:
         for record in results:

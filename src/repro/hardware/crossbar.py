@@ -182,9 +182,13 @@ class _OutputArbiter:
         # like the plain implementation.
         if self._sanitizer is not None:
             self._sanitizer.check_port_conflict(self, head)
-        totals = self.switch._trace_totals
-        if totals is not None:
-            totals["port_conflicts"] = totals.get("port_conflicts", 0) + 1
+        switch = self.switch
+        counters = switch._trace_counters
+        if counters is not None:
+            slot = switch._slot_conflicts
+            if slot < 0:
+                slot = switch._slot_conflicts = counters.slot("port_conflicts")
+            counters.values[slot] += 1
         sink.wait_for_space(self.wake)
 
     def _finish(self) -> None:
@@ -198,14 +202,18 @@ class _OutputArbiter:
             sink.push(packet)
             self._in_flight = None
             self._busy = False
-            totals = self.switch._trace_totals
-            if totals is not None:
-                totals["packets_forwarded"] = (
-                    totals.get("packets_forwarded", 0) + 1
-                )
-                totals["words_forwarded"] = (
-                    totals.get("words_forwarded", 0) + packet.words
-                )
+            switch = self.switch
+            counters = switch._trace_counters
+            if counters is not None:
+                slot = switch._slot_packets
+                if slot < 0:
+                    slot = switch._slot_packets = counters.slot(
+                        "packets_forwarded"
+                    )
+                    switch._slot_words = counters.slot("words_forwarded")
+                values = counters.values
+                values[slot] += 1
+                values[switch._slot_words] += packet.words
             self.wake()
         else:
             sink.wait_for_space(self._finish)
@@ -240,13 +248,12 @@ class CrossbarSwitch:
             if self.trace is not None
             else None
         )
-        #: The counter set's raw totals dict; the per-event sites bump it
-        #: directly (same arithmetic as ``CounterSet.add``, minus the call).
-        self._trace_totals = (
-            self._trace_counters.totals
-            if self._trace_counters is not None
-            else None
-        )
+        #: Interned counter slots into ``_trace_counters.values``; bound
+        #: lazily on first bump (-1 until then) so counters this switch
+        #: never fires stay absent from the reported totals.
+        self._slot_conflicts = -1
+        self._slot_packets = -1
+        self._slot_words = -1
         self._fast = fastpath.enabled()
         #: Armed invariant checker or None; the arbiters prebind it.
         self._sanitizer = sanitize.current()

@@ -57,6 +57,9 @@ class MemoryModule:
             if self.trace is not None
             else None
         )
+        #: Lazily bound counter slots (-1 until the first bump).
+        self._slot_served = -1
+        self._slot_busy = -1
         self.sync = SyncProcessor(tracer=tracer)
         self._sync_handler = sync_handler
         self._sanitizer = sanitize.current()
@@ -87,8 +90,13 @@ class MemoryModule:
                 now, now + service, address=request.address,
             )
             counters = self._trace_counters
-            counters.add("requests_served")
-            counters.add("busy_cycles", service)
+            slot = self._slot_served
+            if slot < 0:
+                slot = self._slot_served = counters.slot("requests_served")
+                self._slot_busy = counters.slot("busy_cycles")
+            values = counters.values
+            values[slot] += 1
+            values[self._slot_busy] += service
         # The in-service request rides on the module (one request in service
         # at a time) rather than in a per-request lambda.
         self._in_service = request

@@ -62,6 +62,10 @@ class OmegaNetwork:
         self._trace_counters = (
             self.trace.counters(name) if self.trace is not None else None
         )
+        #: Lazily bound counter slots (-1 until the first bump).
+        self._slot_rejected = -1
+        self._slot_packets = -1
+        self._slot_words = -1
         self._injections = 0
         self.radix = config.switch_radix
         self.num_stages = 1
@@ -184,12 +188,16 @@ class OmegaNetwork:
 
         counters = self._trace_counters
         engine = self.engine
+        slot_delivered = -1  # lazily interned on the first delivery
 
         def drain() -> None:
+            nonlocal slot_delivered
             while queue._packets:
                 packet = queue.pop()
                 if counters is not None:
-                    counters.add("packets_delivered")
+                    if slot_delivered < 0:
+                        slot_delivered = counters.slot("packets_delivered")
+                    counters.values[slot_delivered] += 1
                 # Delivery stays deferred: handlers may re-enter the network.
                 # partial() dispatches without an intermediate lambda frame.
                 engine.schedule_after(0, partial(handler, packet))
@@ -206,14 +214,24 @@ class OmegaNetwork:
         counters = self._trace_counters
         if not queue.can_accept(packet):
             if counters is not None:
-                counters.add("injection_rejections")
+                slot = self._slot_rejected
+                if slot < 0:
+                    slot = self._slot_rejected = counters.slot(
+                        "injection_rejections"
+                    )
+                counters.values[slot] += 1
             return False
         if self._sanitizer is not None:
             self._sanitizer.network_injected(self, packet)
         queue.push(packet)
         if counters is not None:
-            counters.add("packets_injected")
-            counters.add("words_injected", packet.words)
+            slot = self._slot_packets
+            if slot < 0:
+                slot = self._slot_packets = counters.slot("packets_injected")
+                self._slot_words = counters.slot("words_injected")
+            values = counters.values
+            values[slot] += 1
+            values[self._slot_words] += packet.words
             # Sample the buffered-word gauge sparsely: a full occupancy scan
             # per injection would dominate the traced run.
             self._injections += 1

@@ -129,6 +129,10 @@ class PrefetchUnit:
             if self.trace is not None
             else None
         )
+        #: Lazily bound slots for the per-word hot counters (-1 until the
+        #: first bump); the rare counters stay on ``CounterSet.add``.
+        self._slot_issued = -1
+        self._slot_filled = -1
         # The issue engine ticks at a fixed cadence (one request per
         # issue_interval_cycles); a recurring event re-arms by reusing its
         # heap entry instead of paying schedule() validation per word.
@@ -225,8 +229,12 @@ class PrefetchUnit:
             handle.issue_cycles[index] = self.engine.now
             self._next_index = index + 1
             self._outstanding += 1
-            if self._trace_counters is not None:
-                self._trace_counters.add("requests_issued")
+            counters = self._trace_counters
+            if counters is not None:
+                slot = self._slot_issued
+                if slot < 0:
+                    slot = self._slot_issued = counters.slot("requests_issued")
+                counters.values[slot] += 1
             self._issue_tick.schedule()
         else:
             stall_start = self.engine.now
@@ -259,7 +267,11 @@ class PrefetchUnit:
             )
         handle.record_arrival(index, self.engine.now)
         if self.trace is not None:
-            self._trace_counters.add("buffer_words_filled")
+            counters = self._trace_counters
+            slot = self._slot_filled
+            if slot < 0:
+                slot = self._slot_filled = counters.slot("buffer_words_filled")
+            counters.values[slot] += 1
             if handle.words_arrived % 32 == 1:
                 self.trace.sample(
                     self._trace_component, "buffer_fill_words",

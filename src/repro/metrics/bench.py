@@ -59,8 +59,9 @@ DEFAULT_TOLERANCES: Dict[str, float] = {
 
 #: Which self-profile series are compared, and which way is worse.
 _PROFILE_DIRECTION: Dict[str, int] = {
-    "wall_seconds": -1,      # more seconds = slower simulator
-    "events_per_sec": +1,    # fewer events/sec = slower simulator
+    "wall_seconds": -1,          # more seconds = slower simulator
+    "events_per_sec": +1,        # fewer events/sec = slower simulator
+    "trace_overhead_ratio": -1,  # larger share of wall in instrumentation
 }
 
 
@@ -124,6 +125,13 @@ def bench_experiment(key: str, trace: bool = True) -> Dict[str, object]:
     skipped = totals.get("engine", {}).get("idle_cycles_skipped", 0)
     if skipped:
         profile["idle_cycles_skipped"] = skipped
+    if trace and tracer.records_seen:
+        # Share of wall-clock spent appending trace records (calibrated
+        # per store class, outside the timed region above).
+        overhead = tracer.overhead_estimate(wall_seconds)
+        profile["trace_records"] = tracer.records_seen
+        profile["trace_overhead_ratio"] = overhead["ratio"]
+        profile["trace_per_record_ns"] = overhead["per_record_ns"]
     if busy:
         total_busy = sum(busy.values())
         by_group: Dict[str, int] = {}

@@ -66,6 +66,22 @@ def collect_tracer(registry: MetricsRegistry, tracer: Tracer) -> None:
         registry.gauge(
             "sim_trace_dropped", help="timeline records dropped at capacity"
         ).set(tracer.dropped)
+        for kind, count in sorted(tracer.record_counts().items()):
+            registry.gauge(
+                "sim_trace_kind_records",
+                {"kind": kind},
+                help="timeline records retained per record kind",
+            ).set(count)
+        registry.gauge(
+            "sim_trace_buffer_bytes",
+            help="record-store bytes (columnar ring capacity, or the "
+                 "object store's nominal per-record estimate)",
+        ).set(tracer.buffer_bytes)
+        if tracer.columnar:
+            registry.gauge(
+                "sim_trace_interned_strings",
+                help="distinct component/name strings in the interning table",
+            ).set(tracer.interned_strings)
 
 
 def collect_monitor(

@@ -121,6 +121,22 @@ class ServeClient:
             raise ServeError(str(message), status=status)
         return payload, headers.get("x-cedar-cache")
 
+    def trace(self, job_id: str) -> bytes:
+        """The job's columnar trace snapshot, as wire bytes.
+
+        Feed the result to
+        :meth:`repro.trace.TraceSnapshot.from_bytes` or a
+        :class:`repro.trace.TraceMerger` to render or merge it.
+        """
+        status, _, payload = self._request("GET", f"/jobs/{job_id}/trace")
+        if status != 200:
+            try:
+                message = json.loads(payload.decode("utf-8")).get("error")
+            except ValueError:
+                message = payload[:200].decode("utf-8", "replace")
+            raise ServeError(str(message), status=status)
+        return payload
+
     def events(self, job_id: str) -> Iterator[Tuple[str, Dict[str, object]]]:
         """Stream ``(event, data)`` pairs until the server ends the stream."""
         connection = self._connection()

@@ -63,6 +63,11 @@ class Job:
         self.source: Optional[str] = None
         self.error: Optional[Dict[str, object]] = None
         self.result: Optional[bytes] = None
+        #: Columnar trace-snapshot wire bytes from the run that produced
+        #: ``result`` (shared by coalesced followers; absent on pure
+        #: cache hits, which never ran a simulation).
+        self.trace: Optional[bytes] = None
+        self.trace_meta: Optional[Dict[str, object]] = None
         self.events: List[Dict[str, object]] = []
         self.created = time.monotonic()
         self.finished_at: Optional[float] = None
@@ -133,10 +138,13 @@ class Job:
             document["error"] = dict(self.error)
         if self.latency_ms is not None:
             document["latency_ms"] = round(self.latency_ms, 3)
+        if self.trace_meta is not None:
+            document["trace"] = dict(self.trace_meta)
         return document
 
 
-#: Executes one job, posting progress events; returns the result bytes.
+#: Executes one job, posting progress events; returns either the result
+#: bytes alone or the worker's ``{"result", "trace", "trace_meta"}`` dict.
 Executor = Callable[[Job, Callable[[object], None]], "asyncio.Future"]
 
 
@@ -174,6 +182,13 @@ class JobRegistry:
             "serve_job_latency_ms",
             help="submit-to-resolution latency per job, milliseconds",
         )
+        self._trace_bytes = 0
+        self._trace_gauge = metrics.gauge(
+            "serve_trace_buffer_bytes",
+            help="columnar trace-buffer bytes held across resolved jobs",
+        )
+        #: Telemetry of the most recently computed job (``/healthz``).
+        self.last_trace_meta: Optional[Dict[str, object]] = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -282,7 +297,7 @@ class JobRegistry:
             self._depth_gauge.set(self._queue.qsize())
             job.mark_running()
             try:
-                body = await self._execute(job, job.post)
+                outcome = await self._execute(job, job.post)
             except WorkerCrashError as crash:
                 self._settle_failure(job, {
                     "message": str(crash),
@@ -298,16 +313,42 @@ class JobRegistry:
                     "experiment": job.experiment,
                 })
             else:
-                self._settle_success(job, body)
+                self._settle_success(job, *self._unpack(outcome))
 
-    def _settle_success(self, job: Job, body: bytes) -> None:
+    @staticmethod
+    def _unpack(outcome: object):
+        """Normalize an executor's return (dict from the real worker;
+        bare result bytes from simplified test executors)."""
+        if isinstance(outcome, dict):
+            return (
+                outcome["result"],
+                outcome.get("trace"),
+                outcome.get("trace_meta"),
+            )
+        return outcome, None, None
+
+    def _settle_success(
+        self,
+        job: Job,
+        body: bytes,
+        trace: Optional[bytes] = None,
+        trace_meta: Optional[Dict[str, object]] = None,
+    ) -> None:
         self.cache.put(job.cache_key, body)
         followers = self._coalescer.settle(job.cache_key)
+        if trace is not None:
+            job.trace = trace
+            job.trace_meta = trace_meta
+            self.last_trace_meta = trace_meta
+            self._trace_bytes += len(trace)
+            self._trace_gauge.set(self._trace_bytes)
         job.resolve("computed", body)
         self._counter("serve_jobs_completed_total", job.experiment).inc()
         self._observe_latency(job)
         for follower_id in followers:
             follower = self._jobs[follower_id]
+            follower.trace = trace
+            follower.trace_meta = trace_meta
             follower.resolve("coalesced", body)
             self._counter(
                 "serve_jobs_completed_total", follower.experiment
@@ -331,7 +372,7 @@ class JobRegistry:
 
     async def _execute_in_worker_process(
         self, job: Job, post: Callable[[str, Dict[str, object]], None]
-    ) -> bytes:
+    ) -> Dict[str, object]:
         """Default executor: one fresh worker process per job."""
         loop = asyncio.get_running_loop()
 

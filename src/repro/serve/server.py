@@ -9,6 +9,9 @@ framework, stdlib only, one connection per request.  Routes:
 ``GET  /jobs/<id>``           one job document
 ``GET  /jobs/<id>/result``    the result bytes (``X-Cedar-Cache`` header
                               says ``hit``/``miss``/``coalesced``)
+``GET  /jobs/<id>/trace``     the run's columnar trace snapshot (binary
+                              wire format; 404 for cache hits, which
+                              never ran a simulation)
 ``GET  /jobs/<id>/events``    server-sent-events progress stream over a
                               chunked response (replays history, then
                               follows live until the job resolves)
@@ -166,13 +169,18 @@ class JobServer:
     ) -> None:
         path = path.split("?", 1)[0]
         if path == "/healthz" and method == "GET":
-            await self._send_json(writer, 200, {
+            document = {
                 "status": "ok",
                 "code_version": version_fingerprint(),
                 "workers": self.registry.num_workers,
                 "jobs": len(self.registry.all_jobs()),
                 "cached_results": len(self.cache),
-            })
+            }
+            meta = self.registry.last_trace_meta
+            if meta is not None:
+                document["trace_overhead_ratio"] = meta.get("overhead_ratio")
+                document["trace_buffer_bytes"] = meta.get("buffer_bytes")
+            await self._send_json(writer, 200, document)
             return
         if path == "/metrics" and method == "GET":
             await self._send(
@@ -201,6 +209,9 @@ class JobServer:
                 return
             if tail == "result":
                 await self._get_result(job, writer)
+                return
+            if tail == "trace":
+                await self._get_trace(job, writer)
                 return
             if tail == "events":
                 await self._stream_events(job, writer)
@@ -246,6 +257,23 @@ class JobServer:
                 ("X-Cedar-Cache", _CACHE_HEADER.get(job.source or "", "miss")),
                 ("X-Cedar-Job", job.id),
             ],
+        )
+
+    async def _get_trace(self, job: Job, writer: asyncio.StreamWriter) -> None:
+        """Stream the job's columnar trace snapshot (wire format)."""
+        if job.state in ("queued", "running"):
+            raise ServeError(
+                f"job {job.id} is {job.state}; trace not ready", status=409
+            )
+        if job.trace is None:
+            raise ServeError(
+                f"job {job.id} has no trace buffer (cache hits never ran)",
+                status=404,
+            )
+        await self._send(
+            writer, 200, job.trace,
+            content_type="application/octet-stream",
+            extra_headers=[("X-Cedar-Job", job.id)],
         )
 
     async def _stream_events(self, job: Job, writer: asyncio.StreamWriter) -> None:

@@ -4,7 +4,9 @@
 spawns per job.  It applies the job's config (fast-path engine selection,
 sanitizer arming), runs the experiment with a progress-forwarding tracer
 on the ambient trace bus, and returns the canonical result document bytes
-the server caches and serves.
+plus the job's columnar trace buffer and its telemetry (buffer bytes,
+instrumentation overhead) for the server's gauges, ``/healthz``, and the
+``GET /jobs/<id>/trace`` endpoint.
 
 Progress comes off the trace bus, not a wall clock: every machine the
 experiment driver builds attaches to the ambient tracer, and
@@ -13,10 +15,18 @@ experiment driver builds attaches to the ambient tracer, and
 machine/kernel the driver runs).  Record counts are deterministic, so two
 runs of the same job emit the same progress stream -- the serving tier
 adds no nondeterminism of its own.
+
+The tracer records into a *bounded* columnar ring
+(``CEDAR_SERVE_TRACE_RECORDS`` records, default 2**18): a serve job keeps
+the most recent window of its timeline at a fixed memory ceiling instead
+of a 1M-record store per in-flight request, while counter totals and
+busy-cycle aggregates stay exact regardless of evictions.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from typing import Callable, Dict, Optional
 
 from repro.results import canonical_bytes, jsonable
@@ -28,35 +38,108 @@ from repro.version import version_fingerprint
 #: in the tens of events, cheap enough to forward over a pipe per job.
 PROGRESS_INTERVAL = 250_000
 
+#: Env var bounding the per-job columnar ring, in records.
+TRACE_RECORDS_ENV = "CEDAR_SERVE_TRACE_RECORDS"
+
+#: Default per-job ring bound: 2**18 records (~14 MiB of columns).
+DEFAULT_TRACE_RECORDS = 1 << 18
+
 Emit = Callable[[object], None]
 
 
-class ProgressTracer(Tracer):
-    """A trace bus that forwards throttled progress instead of recording.
+def serve_trace_records() -> int:
+    """The per-job trace-ring bound (``CEDAR_SERVE_TRACE_RECORDS``)."""
+    raw = os.environ.get(TRACE_RECORDS_ENV, "")
+    try:
+        value = int(raw)
+    except ValueError:
+        value = 0
+    return value if value > 0 else DEFAULT_TRACE_RECORDS
 
-    The record store stays empty (a serve job must not hold a 1M-record
-    timeline per in-flight request); counter totals, busy-cycle and epoch
-    aggregates still accumulate exactly as in a recording tracer, because
-    components feed them before the store is consulted.
+
+class _ProgressStore:
+    """Record-store proxy: forwards appends, fires a per-record callback.
+
+    Progress throttling keys off records *appended* (``total_appended``),
+    not records retained, so ring evictions never change the progress
+    stream a job emits.
     """
 
-    def __init__(self, emit: Emit) -> None:
-        super().__init__(enabled=True)
+    columnar = True
+
+    def __init__(self, inner, on_record: Callable[[], None]) -> None:
+        self.inner = inner
+        self._on_record = on_record
+
+    def add_span(self, *args) -> None:
+        self.inner.add_span(*args)
+        self._on_record()
+
+    def add_instant(self, *args) -> None:
+        self.inner.add_instant(*args)
+        self._on_record()
+
+    def add_sample(self, *args) -> None:
+        self.inner.add_sample(*args)
+        self._on_record()
+
+    @property
+    def num_records(self) -> int:
+        return self.inner.num_records
+
+    @property
+    def dropped(self) -> int:
+        return self.inner.dropped
+
+    @property
+    def total_appended(self) -> int:
+        return self.inner.total_appended
+
+    @property
+    def buffer_bytes(self) -> int:
+        return self.inner.buffer_bytes
+
+    @property
+    def max_records(self) -> int:
+        return self.inner.max_records
+
+    def counts(self) -> Dict[str, int]:
+        return self.inner.counts()
+
+    def snapshot(self):
+        return self.inner.snapshot()
+
+
+class ProgressTracer(Tracer):
+    """A trace bus that records into a bounded ring and streams progress.
+
+    Counter totals, busy-cycle and epoch aggregates accumulate exactly as
+    in any recording tracer; the record timeline is the most recent
+    ``max_records`` window (oldest evicted), cheap enough to hold and ship
+    per serve job.
+    """
+
+    def __init__(self, emit: Emit, max_records: Optional[int] = None) -> None:
+        super().__init__(
+            enabled=True,
+            max_records=max_records or serve_trace_records(),
+            columnar=True,
+        )
         self._emit = emit
-        self.records_seen = 0
+        self._store = _ProgressStore(self._store, self._progress)
 
     def set_clock(self, clock) -> None:
         super().set_clock(clock)
         self._emit({"type": "epoch", "epoch": self.epoch})
 
-    def _record(self, record: object) -> None:
-        self.records_seen += 1
-        if self.records_seen % PROGRESS_INTERVAL == 0:
+    def _progress(self) -> None:
+        seen = self._store.total_appended
+        if seen % PROGRESS_INTERVAL == 0:
             cycle = self._elapsed.get(self.epoch, 0)
             self._emit(
                 {
                     "type": "progress",
-                    "records": self.records_seen,
+                    "records": seen,
                     "epoch": self.epoch,
                     "cycle": cycle,
                 }
@@ -67,13 +150,17 @@ def build_record(
     experiment_key: str,
     config: Dict[str, bool],
     emit: Optional[Emit] = None,
+    tracer: Optional[ProgressTracer] = None,
 ) -> Dict[str, object]:
     """Run one experiment under ``config`` and build its result record.
 
     The record is the ``run --json`` shape plus the job's canonical config
     and the code-version fingerprint, so a cached document is
     self-describing: it names the experiment, the exact knobs, and the
-    code that produced it.
+    code that produced it.  Telemetry that varies run to run (wall time,
+    overhead ratio) stays *out* of the record -- cached result bytes must
+    be a pure function of (experiment, config, code version) -- and is
+    returned separately by :func:`execute_job`.
     """
     from repro.experiments.registry import get_experiment
     from repro.hardware import fastpath
@@ -84,7 +171,8 @@ def build_record(
     experiment = get_experiment(experiment_key)
     previous_fastpath = fastpath.set_enabled(config.get("fastpath", True))
     try:
-        tracer = ProgressTracer(emit)
+        if tracer is None:
+            tracer = ProgressTracer(emit)
         emit({"type": "running", "experiment": experiment_key, "config": config})
         with tracing(tracer):
             if config.get("sanitize", False):
@@ -117,8 +205,32 @@ def build_record(
     return record
 
 
-def execute_job(payload: Dict[str, object], emit: Emit) -> bytes:
-    """Worker-process entry point: payload -> canonical result bytes."""
-    return canonical_bytes(
-        build_record(str(payload["experiment"]), dict(payload["config"]), emit)
+def execute_job(payload: Dict[str, object], emit: Emit) -> Dict[str, object]:
+    """Worker-process entry point: payload -> result + trace + telemetry.
+
+    Returns ``{"result": canonical document bytes, "trace": columnar
+    snapshot wire bytes, "trace_meta": telemetry dict}``.  Only ``result``
+    is cached/byte-stable; the trace buffer and telemetry describe this
+    particular execution.
+    """
+    tracer = ProgressTracer(emit)
+    began = time.perf_counter()
+    record = build_record(
+        str(payload["experiment"]), dict(payload["config"]), emit, tracer=tracer
     )
+    wall_seconds = time.perf_counter() - began
+    overhead = tracer.overhead_estimate(wall_seconds)
+    trace_meta: Dict[str, object] = {
+        "records_seen": tracer.records_seen,
+        "records_retained": tracer.num_records,
+        "records_dropped": tracer.dropped,
+        "buffer_bytes": tracer.buffer_bytes,
+        "wall_seconds": wall_seconds,
+        "overhead_ratio": overhead["ratio"],
+        "overhead_per_record_ns": overhead["per_record_ns"],
+    }
+    return {
+        "result": canonical_bytes(record),
+        "trace": tracer.snapshot().to_bytes(),
+        "trace_meta": trace_meta,
+    }

@@ -2,21 +2,31 @@
 
 The simulator-side generalization of the paper's external performance-
 monitoring hardware (Section 2): one :class:`Tracer` event bus per machine
-collects per-component counters, utilization spans, and instants, and two
-exporters turn a finished run into either a plain-text utilization report or
-Chrome trace-event JSON (``chrome://tracing`` / Perfetto).
+collects per-component counters, utilization spans, and instants into a
+flat columnar record store, and two exporters turn a finished run into
+either a plain-text utilization report or Chrome trace-event JSON
+(``chrome://tracing`` / Perfetto).
 
 * :mod:`repro.trace.tracer` -- the bus, counter sets, spans, the ambient
   ``tracing()`` context used by ``cedar-repro trace``.
-* :mod:`repro.trace.export` -- Chrome trace-event and text-report exporters.
+* :mod:`repro.trace.columnar` -- the ring-buffer column store, the string
+  interning table, and the zero-copy :class:`TraceSnapshot` wire format.
+* :mod:`repro.trace.merge` -- :class:`TraceMerger`, splicing per-worker
+  buffers into one deterministic timeline.
+* :mod:`repro.trace.export` -- Chrome trace-event and text-report exporters
+  (accept a live tracer or any snapshot).
 """
 
+from repro.trace.columnar import ColumnarStore, StringTable, TraceSnapshot
+from repro.trace.merge import TraceMerger
 from repro.trace.tracer import (
     CounterSample,
     CounterSet,
     Instant,
+    ObjectStore,
     Span,
     Tracer,
+    columnar_enabled,
     current_tracer,
     tracing,
 )
@@ -28,11 +38,17 @@ from repro.trace.export import (
 )
 
 __all__ = [
+    "ColumnarStore",
     "CounterSample",
     "CounterSet",
     "Instant",
+    "ObjectStore",
     "Span",
+    "StringTable",
+    "TraceMerger",
+    "TraceSnapshot",
     "Tracer",
+    "columnar_enabled",
     "current_tracer",
     "tracing",
     "chrome_trace_events",

@@ -13,40 +13,47 @@ workstations for analysis", Section 2):
   counter summary, grouped by top-level component (``memory.m07`` rolls up
   under ``memory``).
 
+Every exporter accepts either a live :class:`~repro.trace.tracer.Tracer`
+or a :class:`~repro.trace.columnar.TraceSnapshot` (a zero-copy view, a
+deserialized per-worker buffer, or a
+:class:`~repro.trace.merge.TraceMerger` output) and renders through one
+columnar code path -- which is what makes the legacy object store, the
+columnar store, and ``--jobs N`` merges byte-identical in export.
+
 Timestamps are emitted in microseconds (one CE cycle = 170 ns = 0.17 us).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Tuple
+from typing import Dict, List, Tuple, Union
 
 from repro.config import CE_CYCLE_SECONDS
+from repro.trace.columnar import TraceSnapshot, render_value
 from repro.trace.tracer import Tracer
 
 #: Microseconds per CE cycle.
 _US_PER_CYCLE = CE_CYCLE_SECONDS * 1e6
+
+Traceable = Union[Tracer, TraceSnapshot]
 
 
 def _cycles_to_us(cycles: float) -> float:
     return round(cycles * _US_PER_CYCLE, 4)
 
 
-def chrome_trace_events(tracer: Tracer) -> List[dict]:
-    """The ``traceEvents`` array for one tracer's records."""
-    components = sorted(
-        {s.component for s in tracer.spans}
-        | {i.component for i in tracer.instants}
-        | {c.component for c in tracer.samples}
-    )
+def _as_snapshot(source: Traceable) -> TraceSnapshot:
+    return source.snapshot() if isinstance(source, Tracer) else source
+
+
+def chrome_trace_events(source: Traceable) -> List[dict]:
+    """The ``traceEvents`` array for one tracer's (or snapshot's) records."""
+    snap = _as_snapshot(source)
+    strings = snap.strings
+    components = snap.components()
     tids = {component: index + 1 for index, component in enumerate(components)}
-    epochs = sorted(
-        {s.epoch for s in tracer.spans}
-        | {i.epoch for i in tracer.instants}
-        | {c.epoch for c in tracer.samples}
-    )
     events: List[dict] = []
-    for epoch in epochs:
+    for epoch in snap.record_epochs():
         events.append(
             {
                 "name": "process_name",
@@ -66,68 +73,90 @@ def chrome_trace_events(tracer: Tracer) -> List[dict]:
                     "args": {"name": component},
                 }
             )
-    for span in tracer.spans:
+    component_col, name_col, epoch_col, start_col, end_col = snap.columns(
+        "spans", "component", "name", "epoch", "start", "end"
+    )
+    args_col = snap.column("spans", "args")
+    for component, name, epoch, start, end, span_args in zip(
+        component_col, name_col, epoch_col, start_col, end_col, args_col
+    ):
+        cycles = end - start
         event = {
-            "name": span.name,
-            "cat": span.component,
+            "name": strings[name],
+            "cat": strings[component],
             "ph": "X",
-            "ts": _cycles_to_us(span.start),
-            "dur": _cycles_to_us(span.cycles),
-            "pid": span.epoch,
-            "tid": tids[span.component],
+            "ts": _cycles_to_us(start),
+            "dur": _cycles_to_us(cycles),
+            "pid": epoch,
+            "tid": tids[strings[component]],
         }
-        args = dict(span.args or {})
-        args["start_cycle"] = span.start
-        args["cycles"] = span.cycles
+        args = dict(span_args or {})
+        args["start_cycle"] = start
+        args["cycles"] = cycles
         event["args"] = args
         events.append(event)
-    for instant in tracer.instants:
+    component_col, name_col, epoch_col, cycle_col = snap.columns(
+        "instants", "component", "name", "epoch", "cycle"
+    )
+    value_col = snap.column("instants", "value")
+    for component, name, epoch, cycle, value in zip(
+        component_col, name_col, epoch_col, cycle_col, value_col
+    ):
         events.append(
             {
-                "name": instant.name,
-                "cat": instant.component,
+                "name": strings[name],
+                "cat": strings[component],
                 "ph": "i",
                 "s": "t",
-                "ts": _cycles_to_us(instant.cycle),
-                "pid": instant.epoch,
-                "tid": tids[instant.component],
-                "args": {"value": repr(instant.value)},
+                "ts": _cycles_to_us(cycle),
+                "pid": epoch,
+                "tid": tids[strings[component]],
+                "args": {
+                    "value": value if snap.values_rendered else render_value(value)
+                },
             }
         )
-    for sample in tracer.samples:
+    component_col, name_col, epoch_col, cycle_col = snap.columns(
+        "samples", "component", "name", "epoch", "cycle"
+    )
+    value_col = snap.column("samples", "value")
+    for component, name, epoch, cycle, value in zip(
+        component_col, name_col, epoch_col, cycle_col, value_col
+    ):
         events.append(
             {
-                "name": f"{sample.component}.{sample.name}",
-                "cat": sample.component,
+                "name": f"{strings[component]}.{strings[name]}",
+                "cat": strings[component],
                 "ph": "C",
-                "ts": _cycles_to_us(sample.cycle),
-                "pid": sample.epoch,
-                "tid": tids[sample.component],
-                "args": {sample.name: sample.value},
+                "ts": _cycles_to_us(cycle),
+                "pid": epoch,
+                "tid": tids[strings[component]],
+                "args": {strings[name]: value},
             }
         )
     return events
 
 
-def chrome_trace_json(tracer: Tracer, indent: int = 0) -> str:
+def chrome_trace_json(source: Traceable, indent: int = 0) -> str:
     """Full Chrome trace-event JSON document (object form)."""
+    snap = _as_snapshot(source)
     document = {
-        "traceEvents": chrome_trace_events(tracer),
+        "traceEvents": chrome_trace_events(snap),
         "displayTimeUnit": "ms",
         "otherData": {
             "source": "cedar-repro trace bus",
             "cycle_ns": CE_CYCLE_SECONDS * 1e9,
-            "epochs": len(tracer.elapsed_by_epoch()) or 1,
-            "dropped_records": tracer.dropped,
+            "epochs": len(snap.elapsed_by_epoch) or 1,
+            "dropped_records": snap.dropped,
         },
     }
     return json.dumps(document, indent=indent or None)
 
 
-def write_chrome_trace(tracer: Tracer, path: str) -> None:
-    """Write the Chrome trace-event JSON for ``tracer`` to ``path``."""
+def write_chrome_trace(source: Traceable, path: str) -> None:
+    """Write the Chrome trace-event JSON for ``source`` to ``path``."""
     with open(path, "w", encoding="utf-8") as stream:
-        stream.write(chrome_trace_json(tracer))
+        stream.write(chrome_trace_json(source))
 
 
 # ---------------------------------------------------------------------------
@@ -139,7 +168,7 @@ def _group(component: str) -> str:
     return component.split(".", 1)[0]
 
 
-def utilization_report(tracer: Tracer) -> str:
+def utilization_report(source: Traceable) -> str:
     """Per-component utilization and counter totals, as plain text.
 
     Components are rolled up by their top-level name and listed by busy
@@ -148,11 +177,17 @@ def utilization_report(tracer: Tracer) -> str:
     cycles in the run (where did the simulated time go), and ``util``
     divides busy cycles by wall cycles times the number of subunits, so 32
     memory modules each busy half the time report as 50%.
+
+    Degenerate traces render defensively: a run with zero spans says so
+    instead of emitting an empty table, a zero-cycle wall clock cannot
+    divide, and overlapping spans (the analytic model records its cost
+    terms on one timeline) are flagged when they push ``util`` past 100%.
     """
-    elapsed = tracer.elapsed_by_epoch()
+    snap = _as_snapshot(source)
+    elapsed = snap.elapsed_by_epoch
     wall = sum(elapsed.values())
-    busy = tracer.busy_cycles()
-    span_counts = tracer.span_counts()
+    busy = snap.busy_cycles
+    span_counts = snap.span_counts
 
     groups: Dict[str, Dict[str, object]] = {}
     for component, cycles in busy.items():
@@ -167,9 +202,10 @@ def utilization_report(tracer: Tracer) -> str:
     epochs = len(elapsed) or 1
     lines.append(
         f"Trace report: {epochs} machine run(s), {wall} wall cycles, "
-        f"{tracer.num_records} records ({tracer.dropped} dropped)"
+        f"{snap.num_records} records ({snap.dropped} dropped)"
     )
     lines.append("")
+    overlapping = False
     if groups:
         total_busy = sum(group["busy"] for group in groups.values())
         lines.append(
@@ -190,13 +226,22 @@ def utilization_report(tracer: Tracer) -> str:
             share = (busy_cycles / total_busy * 100.0) if total_busy else 0.0
             capacity = wall * subunits
             util = (busy_cycles / capacity * 100.0) if capacity else 0.0
+            overlapping = overlapping or util > 100.0
             lines.append(
                 f"  {name:<14} {subunits:>8} {group['spans']:>9} "
                 f"{busy_cycles:>12} {share:>6.1f}% {util:>7.1f}%"
             )
+        if overlapping:
+            lines.append(
+                "  (util > 100%: overlapping spans share one timeline, "
+                "e.g. analytic-model cost terms)"
+            )
+        lines.append("")
+    else:
+        lines.append("No spans recorded.")
         lines.append("")
 
-    totals = tracer.counter_totals()
+    totals = snap.counter_totals
     if totals:
         rolled: Dict[Tuple[str, str], float] = {}
         for component, counters in totals.items():

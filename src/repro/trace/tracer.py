@@ -21,6 +21,17 @@ Like the paper's 1M-event tracers, the record store is bounded
 rather than silently lost, while counter *totals* and busy-cycle aggregates
 stay exact regardless.
 
+Records live in one of two stores:
+
+* the default **columnar store** (:mod:`repro.trace.columnar`): flat
+  preallocated ring-buffer columns with string-interned ids, oldest-first
+  eviction at capacity, and zero-copy :meth:`Tracer.snapshot` export --
+  roughly 2.5x cheaper per record than object storage and mergeable
+  across worker processes;
+* the **legacy object store** (one frozen dataclass per record,
+  drop-newest at capacity), kept behind ``CEDAR_COLUMNAR=0`` as an A/B
+  reference: exporters produce byte-identical output from either.
+
 Zero overhead when disabled: every recording entry point starts with an
 ``enabled`` check, and hot components hold ``tracer.if_enabled()`` -- ``None``
 when tracing is off -- so the per-event cost of a disabled tracer is a single
@@ -35,16 +46,32 @@ whether anyone is also recording a timeline.
 
 from __future__ import annotations
 
+import os
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import TraceError
+from repro.trace.columnar import ColumnarStore, StringTable, TraceSnapshot
 
 Clock = Callable[[], int]
 
 #: Default bound on stored records, matching the hardware tracers' 1M events.
 DEFAULT_MAX_RECORDS = 1_000_000
+
+#: Env var gating the columnar store; set to ``0`` for the legacy object
+#: store (read once per Tracer, at construction).
+COLUMNAR_ENV = "CEDAR_COLUMNAR"
+
+#: Nominal heap bytes per object-store record (dataclass + list slot),
+#: so both stores can report a comparable ``buffer_bytes``.
+_OBJECT_RECORD_BYTES = 160
+
+
+def columnar_enabled(env: Optional[Dict[str, str]] = None) -> bool:
+    """Whether new tracers default to the columnar store."""
+    return (env if env is not None else os.environ).get(COLUMNAR_ENV, "1") != "0"
 
 
 @dataclass(frozen=True)
@@ -86,31 +113,187 @@ class CounterSample:
     value: float
 
 
+class ObjectStore:
+    """The legacy record store: one frozen dataclass per record.
+
+    Kept as the ``CEDAR_COLUMNAR=0`` A/B reference.  At capacity it drops
+    the *newest* record (the columnar rings evict the oldest); either way
+    ``dropped`` counts exactly ``total_appended - max_records`` overflow
+    records and aggregates stay exact.
+    """
+
+    columnar = False
+
+    def __init__(self, max_records: int) -> None:
+        if max_records < 1:
+            raise TraceError(f"max_records must be >= 1, got {max_records}")
+        self.max_records = max_records
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        self.samples: List[CounterSample] = []
+        self.dropped = 0
+        self.total_appended = 0
+        self._seqs: Dict[str, List[int]] = {
+            "spans": [], "instants": [], "samples": []
+        }
+
+    def _admit(self, kind: str) -> bool:
+        seq = self.total_appended
+        self.total_appended = seq + 1
+        if self.num_records >= self.max_records:
+            self.dropped += 1
+            return False
+        self._seqs[kind].append(seq)
+        return True
+
+    def add_span(
+        self,
+        component: str,
+        name: str,
+        epoch: int,
+        start: int,
+        end: int,
+        depth: int,
+        args: Optional[Dict[str, object]],
+    ) -> None:
+        if self._admit("spans"):
+            self.spans.append(
+                Span(component, name, epoch, start, end, depth, args)
+            )
+
+    def add_instant(
+        self, component: str, name: str, epoch: int, cycle: int, value: object
+    ) -> None:
+        if self._admit("instants"):
+            self.instants.append(Instant(component, name, epoch, cycle, value))
+
+    def add_sample(
+        self, component: str, name: str, epoch: int, cycle: int, value: float
+    ) -> None:
+        if self._admit("samples"):
+            self.samples.append(CounterSample(component, name, epoch, cycle, value))
+
+    @property
+    def num_records(self) -> int:
+        return len(self.spans) + len(self.instants) + len(self.samples)
+
+    @property
+    def buffer_bytes(self) -> int:
+        return self.num_records * _OBJECT_RECORD_BYTES
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "spans": len(self.spans),
+            "instants": len(self.instants),
+            "samples": len(self.samples),
+        }
+
+    def snapshot(self) -> TraceSnapshot:
+        """Columnarize the object records (copying; export-path only)."""
+        from array import array
+
+        snap = TraceSnapshot()
+        table = StringTable()
+        intern = table.intern
+
+        def seg(typecode: str, values) -> Tuple[memoryview, ...]:
+            return (memoryview(array(typecode, values)),)
+
+        spans = self.spans
+        snap.int_columns["spans"] = {
+            "seq": seg("q", self._seqs["spans"]),
+            "component": seg("q", (intern(s.component) for s in spans)),
+            "name": seg("q", (intern(s.name) for s in spans)),
+            "epoch": seg("q", (s.epoch for s in spans)),
+            "start": seg("q", (s.start for s in spans)),
+            "end": seg("q", (s.end for s in spans)),
+            "depth": seg("q", (s.depth for s in spans)),
+        }
+        snap.obj_columns["spans"]["args"] = ([s.args for s in spans],)
+        instants = self.instants
+        snap.int_columns["instants"] = {
+            "seq": seg("q", self._seqs["instants"]),
+            "component": seg("q", (intern(i.component) for i in instants)),
+            "name": seg("q", (intern(i.name) for i in instants)),
+            "epoch": seg("q", (i.epoch for i in instants)),
+            "cycle": seg("q", (i.cycle for i in instants)),
+        }
+        snap.obj_columns["instants"]["value"] = ([i.value for i in instants],)
+        samples = self.samples
+        snap.int_columns["samples"] = {
+            "seq": seg("q", self._seqs["samples"]),
+            "component": seg("q", (intern(c.component) for c in samples)),
+            "name": seg("q", (intern(c.name) for c in samples)),
+            "epoch": seg("q", (c.epoch for c in samples)),
+            "cycle": seg("q", (c.cycle for c in samples)),
+        }
+        snap.float_columns["samples"]["value"] = seg(
+            "d", (c.value for c in samples)
+        )
+        snap.strings = table.strings
+        snap.counts = self.counts()
+        snap.dropped = self.dropped
+        snap.records_seen = self.total_appended
+        snap.buffer_bytes = self.buffer_bytes
+        return snap
+
+
 class CounterSet:
     """Named counters belonging to one component.
 
-    Totals are exact and unbounded; sampled timeline points go through the
-    owning tracer's bounded record store.
+    Totals are exact and unbounded, held in a flat ``values`` list indexed
+    by interned :meth:`slot` ids -- hot call sites prebind a slot once and
+    bump ``counters.values[slot] += delta`` with no per-event hashing.
+    Sampled timeline points go through the owning tracer's bounded record
+    store.
     """
+
+    __slots__ = ("component", "_tracer", "_index", "_names", "values")
 
     def __init__(self, component: str, tracer: "Tracer") -> None:
         self.component = component
         self._tracer = tracer
-        self.totals: Dict[str, float] = {}
+        self._index: Dict[str, int] = {}
+        self._names: List[str] = []
+        self.values: List[float] = []
+
+    def slot(self, name: str) -> int:
+        """Intern counter ``name``, returning its index into ``values``.
+
+        Slots are created on first use so never-bumped counters stay
+        absent from :meth:`totals` (the reporting contract the bench
+        baselines pin down).
+        """
+        index = self._index.get(name)
+        if index is None:
+            index = self._index[name] = len(self._names)
+            self._names.append(name)
+            self.values.append(0)
+        return index
 
     def add(self, name: str, delta: float = 1) -> float:
         """Accumulate ``delta`` into counter ``name``; returns the new total."""
-        total = self.totals.get(name, 0) + delta
-        self.totals[name] = total
+        index = self.slot(name)
+        total = self.values[index] + delta
+        self.values[index] = total
         return total
 
     def sample(self, name: str, value: float, cycle: int) -> None:
         """Set counter ``name`` to ``value`` and record a timeline point."""
-        self.totals[name] = value
+        self.values[self.slot(name)] = value
         self._tracer._record_sample(self.component, name, cycle, value)
 
     def get(self, name: str) -> float:
-        return self.totals.get(name, 0)
+        index = self._index.get(name)
+        return self.values[index] if index is not None else 0
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    @property
+    def totals(self) -> Dict[str, float]:
+        """{counter: total}, in first-use order (a fresh dict per call)."""
+        return dict(zip(self._names, self.values))
 
 
 class Tracer:
@@ -127,6 +310,7 @@ class Tracer:
         enabled: bool = True,
         clock: Optional[Clock] = None,
         max_records: int = DEFAULT_MAX_RECORDS,
+        columnar: Optional[bool] = None,
     ) -> None:
         if max_records < 1:
             raise TraceError(f"max_records must be >= 1, got {max_records}")
@@ -134,10 +318,11 @@ class Tracer:
         self.clock = clock
         self.max_records = max_records
         self.epoch = 0
-        self.dropped = 0
-        self.spans: List[Span] = []
-        self.instants: List[Instant] = []
-        self.samples: List[CounterSample] = []
+        if columnar is None:
+            columnar = columnar_enabled()
+        self._store = (
+            ColumnarStore(max_records) if columnar else ObjectStore(max_records)
+        )
         self._clock_was_set = clock is not None
         self._counter_sets: Dict[str, CounterSet] = {}
         self._span_stacks: Dict[str, List[Tuple[str, int, Optional[Dict[str, object]]]]] = {}
@@ -164,6 +349,11 @@ class Tracer:
             raise TraceError("tracer has no clock; call set_clock() first")
         return self.clock()
 
+    @property
+    def columnar(self) -> bool:
+        """Whether this tracer records into the columnar store."""
+        return self._store.columnar
+
     # -- counters ----------------------------------------------------------
 
     def counters(self, component: str) -> CounterSet:
@@ -188,9 +378,9 @@ class Tracer:
     def counter_totals(self) -> Dict[str, Dict[str, float]]:
         """{component: {counter: total}} for every non-empty counter set."""
         return {
-            component: dict(counters.totals)
+            component: counters.totals
             for component, counters in sorted(self._counter_sets.items())
-            if counters.totals
+            if len(counters)
         }
 
     # -- spans -------------------------------------------------------------
@@ -210,17 +400,7 @@ class Tracer:
         if not stack:
             raise TraceError(f"end() without begin() on component {component!r}")
         name, start, args = stack.pop()
-        self._record_span(
-            Span(
-                component=component,
-                name=name,
-                epoch=self.epoch,
-                start=start,
-                end=self.now(),
-                depth=len(stack),
-                args=args,
-            )
-        )
+        self._record_span(component, name, start, self.now(), len(stack), args)
 
     @contextmanager
     def span(self, component: str, name: str, **args: object) -> Iterator[None]:
@@ -244,16 +424,7 @@ class Tracer:
             return
         if end < start:
             raise TraceError(f"span {component}/{name} ends before it starts")
-        self._record_span(
-            Span(
-                component=component,
-                name=name,
-                epoch=self.epoch,
-                start=start,
-                end=end,
-                args=args or None,
-            )
-        )
+        self._record_span(component, name, start, end, 0, args or None)
 
     def open_spans(self, component: str) -> int:
         """Depth of the begin/end stack (for tests and sanity checks)."""
@@ -286,7 +457,7 @@ class Tracer:
         if cycle is None:
             cycle = self.now() if self.clock is not None else 0
         self._note_cycle(cycle)
-        self._record(Instant(component, name, self.epoch, cycle, value))
+        self._store.add_instant(component, name, self.epoch, cycle, value)
 
     # -- the bus (always on) -----------------------------------------------
 
@@ -318,35 +489,164 @@ class Tracer:
 
     @property
     def num_records(self) -> int:
-        return len(self.spans) + len(self.instants) + len(self.samples)
+        return self._store.num_records
 
-    # -- internals ---------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        return self._store.dropped
 
-    def _record_span(self, span: Span) -> None:
-        self._busy[span.component] = self._busy.get(span.component, 0) + span.cycles
-        self._span_counts[span.component] = self._span_counts.get(span.component, 0) + 1
-        self._note_cycle(span.end)
-        self._record(span)
+    @property
+    def records_seen(self) -> int:
+        """Every record ever appended, including those since dropped."""
+        return self._store.total_appended
 
-    def _record_sample(self, component: str, name: str, cycle: int, value: float) -> None:
+    @property
+    def buffer_bytes(self) -> int:
+        """Bytes held (columnar) or estimated (legacy) by the record store."""
+        return self._store.buffer_bytes
+
+    def record_counts(self) -> Dict[str, int]:
+        """Retained records per kind: {"spans", "instants", "samples"}."""
+        return self._store.counts()
+
+    @property
+    def interned_strings(self) -> int:
+        """Distinct component/name strings interned (0 for the legacy store)."""
+        store = getattr(self._store, "inner", self._store)
+        return len(store.strings) if store.columnar else 0
+
+    # -- record views --------------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        """Stored spans as objects (materialized per access when columnar)."""
+        store = self._store
+        if not store.columnar:
+            return store.spans
+        snap = store.snapshot()
+        strings = snap.strings
+        component, name, epoch, start, end, depth = snap.columns(
+            "spans", "component", "name", "epoch", "start", "end", "depth"
+        )
+        args = snap.column("spans", "args")
+        return [
+            Span(strings[c], strings[n], e, s, f, d, a)
+            for c, n, e, s, f, d, a
+            in zip(component, name, epoch, start, end, depth, args)
+        ]
+
+    @property
+    def instants(self) -> List[Instant]:
+        store = self._store
+        if not store.columnar:
+            return store.instants
+        snap = store.snapshot()
+        strings = snap.strings
+        component, name, epoch, cycle, value = snap.columns(
+            "instants", "component", "name", "epoch", "cycle", "value"
+        )
+        return [
+            Instant(strings[c], strings[n], e, y, v)
+            for c, n, e, y, v in zip(component, name, epoch, cycle, value)
+        ]
+
+    @property
+    def samples(self) -> List[CounterSample]:
+        store = self._store
+        if not store.columnar:
+            return store.samples
+        snap = store.snapshot()
+        strings = snap.strings
+        component, name, epoch, cycle, value = snap.columns(
+            "samples", "component", "name", "epoch", "cycle", "value"
+        )
+        return [
+            CounterSample(strings[c], strings[n], e, y, v)
+            for c, n, e, y, v in zip(component, name, epoch, cycle, value)
+        ]
+
+    # -- internals -----------------------------------------------------------
+
+    def _record_span(
+        self,
+        component: str,
+        name: str,
+        start: int,
+        end: int,
+        depth: int,
+        args: Optional[Dict[str, object]],
+    ) -> None:
+        self._busy[component] = self._busy.get(component, 0) + (end - start)
+        self._span_counts[component] = self._span_counts.get(component, 0) + 1
+        self._note_cycle(end)
+        self._store.add_span(component, name, self.epoch, start, end, depth, args)
+
+    def _record_sample(
+        self, component: str, name: str, cycle: int, value: float
+    ) -> None:
         self._note_cycle(cycle)
-        self._record(CounterSample(component, name, self.epoch, cycle, value))
-
-    def _record(self, record: object) -> None:
-        if self.num_records >= self.max_records:
-            self.dropped += 1
-            return
-        if isinstance(record, Span):
-            self.spans.append(record)
-        elif isinstance(record, Instant):
-            self.instants.append(record)
-        else:
-            assert isinstance(record, CounterSample)
-            self.samples.append(record)
+        self._store.add_sample(component, name, self.epoch, cycle, value)
 
     def _note_cycle(self, cycle: int) -> None:
         if cycle > self._elapsed.get(self.epoch, 0):
             self._elapsed[self.epoch] = cycle
+
+    # -- snapshot / overhead -------------------------------------------------
+
+    def snapshot(self) -> TraceSnapshot:
+        """Zero-copy columnar view of this tracer's records + aggregates.
+
+        The exporters (:mod:`repro.trace.export`) and the cross-worker
+        :class:`~repro.trace.merge.TraceMerger` both consume snapshots, so
+        a live tracer, a deserialized per-worker buffer, and a merged
+        timeline all render through one code path.
+        """
+        snap = self._store.snapshot()
+        snap.counter_totals = self.counter_totals()
+        snap.busy_cycles = dict(self._busy)
+        snap.span_counts = dict(self._span_counts)
+        snap.elapsed_by_epoch = dict(self._elapsed)
+        snap.epochs = self.epoch + 1
+        return snap
+
+    def overhead_estimate(self, wall_seconds: float) -> Dict[str, float]:
+        """Estimated wall-clock share spent appending trace records.
+
+        The per-record cost of this tracer's store class is calibrated
+        once per process on a throwaway store (outside any timed region)
+        and multiplied by the number of records appended -- an estimate,
+        but one that moves with the store implementation, which is what
+        the bench self-profile non-regression gate needs.
+        """
+        records = self._store.total_appended
+        cost = _per_record_cost(type(getattr(self._store, "inner", self._store)))
+        overhead = records * cost
+        return {
+            "records": float(records),
+            "per_record_ns": round(cost * 1e9, 1),
+            "overhead_seconds": overhead,
+            "ratio": (overhead / wall_seconds) if wall_seconds > 0 else 0.0,
+        }
+
+
+#: Per-process cache of calibrated per-record append cost, by store class.
+_PER_RECORD_COST: Dict[type, float] = {}
+
+#: Synthetic appends per calibration run.
+_CALIBRATION_RECORDS = 20_000
+
+
+def _per_record_cost(store_class: type) -> float:
+    cached = _PER_RECORD_COST.get(store_class)
+    if cached is not None:
+        return cached
+    store = store_class(_CALIBRATION_RECORDS)
+    began = time.perf_counter()
+    for cycle in range(_CALIBRATION_RECORDS):
+        store.add_span("calibration", "append", 0, cycle, cycle + 1, 0, None)
+    cost = (time.perf_counter() - began) / _CALIBRATION_RECORDS
+    _PER_RECORD_COST[store_class] = cost
+    return cost
 
 
 # ---------------------------------------------------------------------------

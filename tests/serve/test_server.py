@@ -26,10 +26,12 @@ from repro.version import version_fingerprint
 class StubExecutor:
     """Injected executor: records calls, optionally blocks or fails."""
 
-    def __init__(self):
+    def __init__(self, trace=None, trace_meta=None):
         self.calls = []
         self.gate = None
         self.failure = None
+        self.trace = trace
+        self.trace_meta = trace_meta
 
     async def __call__(self, job, post):
         self.calls.append(job.id)
@@ -38,7 +40,15 @@ class StubExecutor:
         if self.failure is not None:
             raise self.failure
         post("progress", {"records": 1})
-        return b"stub:" + job.cache_key.encode()
+        result = b"stub:" + job.cache_key.encode()
+        if self.trace is not None:
+            # The worker-dict form execute_job returns for real runs.
+            return {
+                "result": result,
+                "trace": self.trace,
+                "trace_meta": dict(self.trace_meta or {}),
+            }
+        return result
 
 
 class ServerThread:
@@ -86,8 +96,8 @@ class ServerThread:
         return ServeClient(port=self.server.port, timeout=30)
 
 
-def stub_server(jobs=1, queue_limit=64):
-    stub = StubExecutor()
+def stub_server(jobs=1, queue_limit=64, trace=None, trace_meta=None):
+    stub = StubExecutor(trace=trace, trace_meta=trace_meta)
     registry = JobRegistry(
         ResultCache(), MetricsRegistry(),
         jobs=jobs, queue_limit=queue_limit, execute=stub,
@@ -229,6 +239,94 @@ class TestHttpBasics:
             server.call_in_loop(stub.gate.set)
 
 
+def _stub_trace_bytes():
+    """A tiny but real columnar snapshot for the stub executor to serve."""
+    from repro.trace import Tracer
+
+    tracer = Tracer(enabled=True, columnar=True)
+    tracer.complete("stub", "work", 0, 10)
+    tracer.instant("stub", "posted", cycle=5, value=1)
+    return tracer.snapshot().to_bytes()
+
+
+class TestTraceTelemetry:
+    """GET /jobs/<id>/trace plus the serve-tier trace gauges."""
+
+    _META = {"overhead_ratio": 0.015, "buffer_bytes": 4096, "records_seen": 2}
+
+    def _traced_server(self, **kwargs):
+        return stub_server(
+            trace=_stub_trace_bytes(), trace_meta=self._META, **kwargs
+        )
+
+    def test_trace_endpoint_streams_the_columnar_snapshot(self):
+        from repro.trace import TraceSnapshot
+
+        server, _ = self._traced_server()
+        with server:
+            client = server.client
+            job_id = client.submit("table2")["job"]["id"]
+            client.wait(job_id, timeout=10)
+            payload = client.trace(job_id)
+            snap = TraceSnapshot.from_bytes(payload)
+            assert snap.counts["spans"] == 1
+            assert snap.counts["instants"] == 1
+            # The job document carries the telemetry sidecar.
+            assert client.job(job_id)["trace"]["overhead_ratio"] == 0.015
+
+    def test_trace_is_409_while_queued_or_running(self):
+        server, stub = self._traced_server()
+        stub.gate = asyncio.Event()
+        with server:
+            client = server.client
+            job_id = client.submit("table2")["job"]["id"]
+            with pytest.raises(ServeError) as info:
+                client.trace(job_id)
+            assert info.value.status == 409
+            server.call_in_loop(stub.gate.set)
+            client.wait(job_id, timeout=10)
+
+    def test_cache_hit_job_has_no_trace_404(self):
+        server, _ = self._traced_server()
+        with server:
+            client = server.client
+            cold = client.submit("table2")["job"]["id"]
+            client.wait(cold, timeout=10)
+            warm = client.submit("table2")["job"]["id"]  # synchronous hit
+            with pytest.raises(ServeError) as info:
+                client.trace(warm)
+            assert info.value.status == 404
+            assert "cache hits" in str(info.value)
+
+    def test_healthz_and_metrics_report_trace_telemetry(self):
+        server, _ = self._traced_server(jobs=1)
+        with server:
+            client = server.client
+            assert "trace_overhead_ratio" not in client.healthz()
+            for key in ("table2", "table5"):
+                job_id = client.submit(key)["job"]["id"]
+                client.wait(job_id, timeout=10)
+            health = client.healthz()
+            assert health["trace_overhead_ratio"] == 0.015
+            assert health["trace_buffer_bytes"] == 4096
+            samples = parse_prometheus(client.metrics_text())
+            # The gauge accumulates held wire bytes across resolved jobs.
+            assert samples["serve_trace_buffer_bytes"] == 2 * len(
+                _stub_trace_bytes()
+            )
+
+    def test_untraced_executor_keeps_legacy_shape(self):
+        server, _ = stub_server()  # raw-bytes executor, no trace dict
+        with server:
+            client = server.client
+            job_id = client.submit("table2")["job"]["id"]
+            client.wait(job_id, timeout=10)
+            assert "trace" not in client.job(job_id)
+            with pytest.raises(ServeError) as info:
+                client.trace(job_id)
+            assert info.value.status == 404
+
+
 class TestCoalescingAcceptance:
     def test_concurrent_identical_posts_cost_one_simulation(self):
         """N concurrent identical POST /jobs -> exactly one execution."""
@@ -301,3 +399,21 @@ class TestRealSimulation:
             assert samples["serve_cache_hits_total"] == 1
             assert samples["serve_cache_misses_total"] == 1
             assert samples["serve_job_latency_ms_count"] == 2
+
+            # The cold run also produced a live columnar trace buffer --
+            # fetchable, parseable, and reported in /healthz telemetry.
+            from repro.trace import TraceSnapshot
+
+            snap = TraceSnapshot.from_bytes(client.trace(job_id))
+            assert snap.records_seen > 0
+            assert snap.counter_totals  # real hardware counters flowed
+            meta = client.job(job_id)["trace"]
+            assert meta["records_seen"] == snap.records_seen
+            assert meta["overhead_ratio"] >= 0
+            health = client.healthz()
+            assert health["trace_buffer_bytes"] > 0
+            assert samples["serve_trace_buffer_bytes"] > 0
+            # The warm (cache-hit) job never ran, so it has no buffer.
+            with pytest.raises(ServeError) as info:
+                client.trace(warm_doc["job"]["id"])
+            assert info.value.status == 404

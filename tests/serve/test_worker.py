@@ -1,0 +1,84 @@
+"""Tests for the serve worker process side (repro.serve.worker)."""
+
+import json
+
+from repro.serve import worker
+from repro.trace import TraceSnapshot
+
+
+class TestTraceRecordsBound:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(worker.TRACE_RECORDS_ENV, raising=False)
+        assert worker.serve_trace_records() == worker.DEFAULT_TRACE_RECORDS
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(worker.TRACE_RECORDS_ENV, "1024")
+        assert worker.serve_trace_records() == 1024
+
+    def test_garbage_and_nonpositive_fall_back(self, monkeypatch):
+        for raw in ("zero", "", "-5", "0"):
+            monkeypatch.setenv(worker.TRACE_RECORDS_ENV, raw)
+            assert worker.serve_trace_records() == worker.DEFAULT_TRACE_RECORDS
+
+
+class TestProgressTracer:
+    def test_progress_keys_off_appended_not_retained(self, monkeypatch):
+        """Ring evictions must not change the emitted progress stream."""
+        monkeypatch.setattr(worker, "PROGRESS_INTERVAL", 10)
+        streams = []
+        for max_records in (4, 1000):  # heavy eviction vs none
+            events = []
+            tracer = worker.ProgressTracer(events.append, max_records=max_records)
+            for i in range(25):
+                tracer.instant("c", "tick", cycle=i, value=i)
+            streams.append([e for e in events if e["type"] == "progress"])
+        assert streams[0] == streams[1]
+        assert [e["records"] for e in streams[0]] == [10, 20]
+
+    def test_bounded_ring_keeps_recent_window(self):
+        events = []
+        tracer = worker.ProgressTracer(events.append, max_records=8)
+        for i in range(20):
+            tracer.instant("c", "tick", cycle=i, value=i)
+        assert tracer.num_records == 8
+        assert tracer.dropped == 12
+        assert tracer.records_seen == 20
+        snap = TraceSnapshot.from_bytes(tracer.snapshot().to_bytes())
+        assert snap.column("instants", "cycle") == list(range(12, 20))
+
+    def test_set_clock_emits_epoch_events(self):
+        events = []
+        tracer = worker.ProgressTracer(events.append, max_records=8)
+        tracer.set_clock(lambda: 0)
+        tracer.set_clock(lambda: 0)
+        epochs = [e["epoch"] for e in events if e["type"] == "epoch"]
+        assert epochs == [0, 1]
+
+
+class TestExecuteJob:
+    def test_returns_result_trace_and_telemetry(self):
+        events = []
+        outcome = worker.execute_job(
+            {"experiment": "table6", "config": {"fastpath": True}},
+            events.append,
+        )
+        assert set(outcome) == {"result", "trace", "trace_meta"}
+        record = json.loads(outcome["result"].decode("utf-8"))
+        assert record["experiment"] == "table6"
+        snap = TraceSnapshot.from_bytes(outcome["trace"])
+        meta = outcome["trace_meta"]
+        assert meta["records_seen"] == snap.records_seen > 0
+        assert meta["records_retained"] == snap.num_records
+        assert meta["wall_seconds"] > 0
+        assert meta["overhead_ratio"] >= 0
+        types = [e["type"] for e in events]
+        assert types[0] == "running" and types[-1] == "finished"
+
+    def test_result_bytes_stay_trace_free_and_deterministic(self):
+        run = lambda: worker.execute_job(  # noqa: E731
+            {"experiment": "table6", "config": {}}, lambda data: None
+        )
+        first, second = run(), run()
+        assert first["result"] == second["result"]
+        assert b"overhead" not in first["result"]
+        assert b"wall_seconds" not in first["result"]

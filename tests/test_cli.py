@@ -137,6 +137,81 @@ class TestRunJobs:
         assert "High" in capsys.readouterr().out
 
 
+class TestRunMultiple:
+    def test_several_experiments_in_given_order(self, capsys):
+        assert main(["run", "table6", "table5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [e["experiment"] for e in payload] == ["table6", "table5"]
+
+    def test_duplicates_are_collapsed(self, capsys):
+        assert main(["run", "table6", "table6", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [e["experiment"] for e in payload] == ["table6"]
+
+    def test_unknown_key_in_list_rejected(self, capsys):
+        assert main(["run", "table6", "tabel5"]) == 2
+        assert "unknown experiment 'tabel5'" in capsys.readouterr().err
+
+
+class TestRunTraceOut:
+    def test_writes_merged_chrome_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        assert main(
+            ["run", "table6", "table5", "--trace-out", str(out_file)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "wrote merged trace" in captured.err
+        assert "2 experiment(s)" in captured.err
+        doc = json.loads(out_file.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        # Each experiment keeps its own epoch (Chrome-trace pid).
+        assert len({e["pid"] for e in doc["traceEvents"]}) >= 2
+
+    def test_json_records_gain_trace_telemetry(self, capsys, tmp_path):
+        out_file = tmp_path / "trace.json"
+        assert main(
+            ["run", "table6", "--json", "--trace-out", str(out_file)]
+        ) == 0
+        entry = json.loads(capsys.readouterr().out)[0]
+        trace = entry["trace"]
+        assert trace["records_seen"] > 0
+        assert trace["dropped"] == 0
+        assert trace["overhead_ratio"] >= 0
+        assert trace["overhead_per_record_ns"] > 0
+
+    def test_jobs_n_merged_trace_is_byte_identical(
+        self, monkeypatch, tmp_path
+    ):
+        """The merge-determinism acceptance: --jobs 2 == --jobs 1, exactly."""
+        import repro.cli as cli
+
+        subset = {k: cli.EXPERIMENTS[k] for k in ("table6", "table5")}
+        monkeypatch.setattr(cli, "EXPERIMENTS", subset)
+        sequential = tmp_path / "seq.json"
+        parallel = tmp_path / "par.json"
+        assert cli.main(["run", "all", "--trace-out", str(sequential)]) == 0
+        assert cli.main(
+            ["run", "all", "--jobs", "2", "--trace-out", str(parallel)]
+        ) == 0
+        assert sequential.read_bytes() == parallel.read_bytes()
+
+    def test_unwritable_trace_out_fails_before_running(self, tmp_path, capsys):
+        bad = tmp_path / "missing-dir" / "trace.json"
+        assert main(["run", "table6", "--trace-out", str(bad)]) == 2
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_rendered_output_unchanged_by_tracing(self, capsys, tmp_path):
+        assert main(["run", "table6", "--json"]) == 0
+        plain = json.loads(capsys.readouterr().out)[0]
+        assert main(
+            ["run", "table6", "--json",
+             "--trace-out", str(tmp_path / "t.json")]
+        ) == 0
+        traced = json.loads(capsys.readouterr().out)[0]
+        assert traced["rendered"] == plain["rendered"]
+        assert traced["result"] == plain["result"]
+
+
 class TestRunSanitize:
     def test_plain_run_prints_sanitizer_line(self, capsys):
         assert main(["run", "table6", "--sanitize"]) == 0

@@ -260,3 +260,39 @@ class TestUtilizationRanking:
         tracer.complete("alpha", "work", 0, 10)
         report = utilization_report(tracer)
         assert report.index("alpha") < report.index("zeta")
+
+
+class TestDegenerateReports:
+    """Zero-span and overlapping-span traces must render, not crash."""
+
+    def test_empty_tracer_reports_no_spans(self):
+        report = utilization_report(Tracer(enabled=True))
+        assert "No spans recorded." in report
+        assert "0 records" in report
+        assert "%" not in report  # no utilization table, no division
+
+    def test_counters_without_spans_still_report(self):
+        tracer = Tracer(enabled=True)
+        tracer.count("fwd", "packets", 7)
+        report = utilization_report(tracer)
+        assert "No spans recorded." in report
+        assert "fwd.packets" in report
+
+    def test_zero_wall_clock_does_not_divide(self):
+        tracer = Tracer(enabled=True)
+        tracer.complete("m", "blip", 0, 0)  # zero-cycle span, zero wall
+        report = utilization_report(tracer)
+        assert "0.0%" in report  # util falls back to 0, no ZeroDivisionError
+
+    def test_overlapping_spans_are_flagged_past_100_percent(self):
+        tracer = Tracer(enabled=True)
+        # Two overlapping cost terms on one timeline: busy 40 of wall 20.
+        tracer.complete("model", "compute", 0, 20)
+        tracer.complete("model", "memory", 0, 20)
+        report = utilization_report(tracer)
+        assert "200.0%" in report
+        assert "util > 100%" in report
+
+    def test_disabled_tracer_report_is_empty_shaped(self):
+        report = utilization_report(Tracer(enabled=False))
+        assert "No spans recorded." in report
