@@ -15,6 +15,12 @@ Usage::
                                      # its own columnar tracer; the buffers
                                      # merge into ONE Chrome trace that is
                                      # byte-identical for any --jobs N
+    cedar-repro run table2 --partitions 4
+                                     # ONE experiment split across 4 worker
+                                     # processes (partitioned parallel
+                                     # simulation); stdout, --trace-out and
+                                     # sanitizer output are byte-identical
+                                     # for any partition count
     cedar-repro trace table2 --out trace.json --report
                                      # same artifact, plus machine-wide
                                      # instrumentation (Chrome trace JSON
@@ -36,9 +42,7 @@ from __future__ import annotations
 import argparse
 import cProfile
 import difflib
-import io
 import json
-import pstats
 import sys
 import time
 from typing import Dict, List, Optional, Tuple
@@ -54,6 +58,7 @@ from repro.experiments.registry import (
 from repro.hardware import sanitize
 from repro.metrics import bench as bench_mod
 from repro.parallel import parallel_map
+from repro.partition import profile_top_from_stats, run_partitioned
 from repro.trace import (
     TraceMerger,
     Tracer,
@@ -102,6 +107,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "(output order stays deterministic)",
     )
     run.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="partitioned parallel simulation: shard each experiment's "
+        "independent machine-run units across N worker processes and "
+        "recombine deterministically (stdout, sanitizer summaries and "
+        "--trace-out are byte-identical for any N; per-partition "
+        "events/s and barrier-stall telemetry goes to stderr); "
+        "mutually exclusive with --jobs",
+    )
+    run.add_argument(
         "--trace-out",
         metavar="FILE",
         default=None,
@@ -122,7 +139,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="wrap each run in cProfile and print the hottest simulator "
-        "functions (forces --jobs 1)",
+        "functions; with --jobs or --partitions the per-worker stats "
+        "are aggregated in the parent",
     )
     run.add_argument(
         "--top",
@@ -224,6 +242,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="bench experiments in N worker processes; the snapshot is "
         "byte-identical for any N (modulo self_profile wall-clock)",
     )
+    bench.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="additionally time each unit-decomposable experiment under "
+        "partitioned execution with N partitions and record the "
+        "partitioned events/s in self_profile (fidelity and machine "
+        "sections still come from the normal run, so they cannot "
+        "drift)",
+    )
     serve = sub.add_parser(
         "serve",
         help="run the simulation-as-a-service HTTP/JSON job server "
@@ -320,21 +349,8 @@ _jsonable = results_mod.jsonable
 
 def _profile_top(profiler: cProfile.Profile, top: int) -> List[Dict[str, object]]:
     """The ``top`` hottest functions by total time, as JSON-safe records."""
-    stats = pstats.Stats(profiler, stream=io.StringIO())
-    stats.sort_stats("tottime")
-    rows: List[Dict[str, object]] = []
-    for func in stats.fcn_list[:top]:  # fcn_list is sorted by sort_stats
-        cc, nc, tt, ct, _ = stats.stats[func]
-        filename, line, name = func
-        rows.append(
-            {
-                "function": f"{filename}:{line}({name})",
-                "ncalls": nc,
-                "tottime": round(tt, 6),
-                "cumtime": round(ct, 6),
-            }
-        )
-    return rows
+    profiler.create_stats()
+    return profile_top_from_stats(profiler.stats, top)
 
 
 def _render_profile(rows: List[Dict[str, object]]) -> str:
@@ -357,33 +373,44 @@ def _sanitizer_line(summary: Dict[str, object]) -> str:
 
 
 def _execute_run(
-    key: str, sanitized: bool, traced: bool
-) -> Tuple[str, object, Optional[Dict], Optional[bytes], Optional[Dict]]:
+    key: str, sanitized: bool, traced: bool, profiled: bool = False
+) -> Tuple[
+    str, object, Optional[Dict], Optional[bytes], Optional[Dict], Optional[Dict]
+]:
     """Run one experiment; optionally record it on a columnar tracer.
 
     Returns ``(rendered, jsonable result, sanitizer summary, trace
-    snapshot wire bytes, trace telemetry)`` -- the last two ``None``
-    unless ``traced``.  The trace travels as wire bytes even in-process,
-    so ``--jobs 1`` and ``--jobs N`` feed the merger byte-identical
-    inputs.
+    snapshot wire bytes, trace telemetry, cProfile stats dict)`` -- the
+    trace pair ``None`` unless ``traced``, the stats ``None`` unless
+    ``profiled``.  The trace travels as wire bytes even in-process, so
+    ``--jobs 1`` and ``--jobs N`` feed the merger byte-identical inputs;
+    the raw stats dict (not a rendered top-N) travels likewise, so
+    worker-process profiles aggregate in the parent.
     """
     tracer = Tracer(enabled=True) if traced else None
+    profiler = cProfile.Profile() if profiled else None
     summary = None
     began = time.perf_counter()
-    if sanitized:
-        if tracer is not None:
-            with tracing(tracer):
+    if profiler is not None:
+        profiler.enable()
+    try:
+        if sanitized:
+            if tracer is not None:
+                with tracing(tracer):
+                    text, result, summary = run_experiment_sanitized(key)
+            else:
                 text, result, summary = run_experiment_sanitized(key)
         else:
-            text, result, summary = run_experiment_sanitized(key)
-    else:
-        experiment = EXPERIMENTS[key]
-        if tracer is not None:
-            with tracing(tracer):
+            experiment = EXPERIMENTS[key]
+            if tracer is not None:
+                with tracing(tracer):
+                    result = experiment.run()
+            else:
                 result = experiment.run()
-        else:
-            result = experiment.run()
-        text = experiment.render(result)
+            text = experiment.render(result)
+    finally:
+        if profiler is not None:
+            profiler.disable()
     trace_bytes: Optional[bytes] = None
     trace_meta: Optional[Dict[str, object]] = None
     if tracer is not None:
@@ -398,30 +425,31 @@ def _execute_run(
             "overhead_ratio": overhead["ratio"],
             "overhead_per_record_ns": overhead["per_record_ns"],
         }
-    return text, _jsonable(result), summary, trace_bytes, trace_meta
+    profile_stats: Optional[Dict] = None
+    if profiler is not None:
+        profiler.create_stats()
+        profile_stats = profiler.stats
+    return text, _jsonable(result), summary, trace_bytes, trace_meta, profile_stats
 
 
 def _run_worker(
-    task: Tuple[str, bool, bool]
-) -> Tuple[str, str, object, Optional[Dict], Optional[bytes], Optional[Dict]]:
+    task: Tuple[str, bool, bool, bool]
+) -> Tuple[
+    str, str, object, Optional[Dict], Optional[bytes], Optional[Dict],
+    Optional[Dict],
+]:
     """Worker-process entry: run one experiment, return rendered + JSON data."""
-    key, sanitized, traced = task
-    return (key,) + _execute_run(key, sanitized, traced)
+    key, sanitized, traced, profiled = task
+    return (key,) + _execute_run(key, sanitized, traced, profiled)
 
 
 def _run_one(
     key: str, args: argparse.Namespace, sanitized: bool, traced: bool
 ) -> Tuple[Dict[str, object], Optional[bytes]]:
     """Run ``key`` in-process, honouring --profile/--sanitize/--trace-out."""
-    profiler = None
-    if args.profile:
-        profiler = cProfile.Profile()
-        profiler.enable()
-    rendered, data, summary, trace_bytes, trace_meta = _execute_run(
-        key, sanitized, traced
+    rendered, data, summary, trace_bytes, trace_meta, stats = _execute_run(
+        key, sanitized, traced, profiled=args.profile
     )
-    if profiler is not None:
-        profiler.disable()
     record: Dict[str, object] = {
         "experiment": key,
         "description": EXPERIMENTS[key].description,
@@ -432,8 +460,8 @@ def _run_one(
         record["sanitizer"] = summary
     if trace_meta is not None:
         record["trace"] = trace_meta
-    if profiler is not None:
-        record["profile"] = _profile_top(profiler, args.top)
+    if stats is not None:
+        record["profile"] = profile_top_from_stats(stats, args.top)
     return record, trace_bytes
 
 
@@ -455,6 +483,90 @@ def _write_merged_trace(
     )
 
 
+def _partition_telemetry_lines(key: str, telemetry: Dict[str, object]) -> List[str]:
+    """Human rendering of a partitioned run's throughput accounting."""
+    lines = [
+        f"{key}: {telemetry['events_dispatched']:,.0f} events in "
+        f"{telemetry['wall_seconds']:.2f}s across "
+        f"{telemetry['partitions']} partition(s) "
+        f"({telemetry['events_per_sec']:,.0f} events/s)"
+    ]
+    for stat in telemetry["partition_stats"]:
+        lines.append(
+            f"  partition {stat['partition']}: {stat['units']} unit(s), "
+            f"{stat['events_dispatched']:,.0f} events, "
+            f"{stat['events_per_sec']:,.0f} events/s, "
+            f"barrier stall {stat['barrier_stall_seconds']:.2f}s"
+        )
+    return lines
+
+
+def _cmd_run_partitioned(
+    args: argparse.Namespace, keys: List[str], sanitized: bool, traced: bool
+) -> int:
+    """The ``run --partitions N`` path: unit-sharded partitioned execution.
+
+    stdout (rendered artifacts, sanitizer lines) and ``--trace-out`` are
+    byte-identical for any partition count; the per-partition events/s
+    and barrier-stall telemetry goes to stderr.
+    """
+    json_mode = args.json or bool(args.out)
+    traces: Dict[str, Optional[bytes]] = {}
+    results: List[Dict[str, object]] = []
+    for key in keys:
+        if args.out:
+            print(f"running {key} ...", file=sys.stderr)
+        run = run_partitioned(
+            key,
+            args.partitions,
+            sanitized=sanitized,
+            traced=traced,
+            profiled=args.profile,
+        )
+        traces[key] = run.trace_bytes
+        for line in _partition_telemetry_lines(key, run.telemetry):
+            print(line, file=sys.stderr)
+        record: Dict[str, object] = {
+            "experiment": key,
+            "description": EXPERIMENTS[key].description,
+            "result": _jsonable(run.result),
+            "rendered": run.rendered,
+            "partition": run.telemetry,
+        }
+        if run.sanitizer is not None:
+            record["sanitizer"] = run.sanitizer
+        if run.trace_meta is not None:
+            record["trace"] = run.trace_meta
+        if run.profile_stats is not None:
+            record["profile"] = profile_top_from_stats(
+                run.profile_stats, args.top
+            )
+        results.append(record)
+    if traced:
+        _write_merged_trace(keys, traces, args.trace_out)
+    if not json_mode:
+        for record in results:
+            print(record["rendered"])
+            if "sanitizer" in record:
+                print(_sanitizer_line(record["sanitizer"]))
+            print()
+            if args.profile:
+                print(f"-- hottest functions ({record['experiment']}) --")
+                print(_render_profile(record["profile"]))
+                print()
+        return 0
+    for record in results:
+        record["code_version"] = version_fingerprint()
+    document = json.dumps(results, indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            stream.write(document + "\n")
+        print(f"wrote {len(results)} result(s) to {args.out}", file=sys.stderr)
+    else:
+        print(document)
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if "all" in args.experiments:
         keys = sorted(EXPERIMENTS)
@@ -463,9 +575,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for key in keys:
         if key not in EXPERIMENTS:
             return _unknown_experiment(key)
-    if args.jobs > 1 and args.profile:
-        print("--profile forces --jobs 1", file=sys.stderr)
-        args.jobs = 1
+    if args.partitions is not None:
+        if args.partitions < 1:
+            print("--partitions must be >= 1", file=sys.stderr)
+            return 2
+        if args.jobs > 1:
+            print(
+                "--partitions and --jobs are mutually exclusive "
+                "(partitioned runs already use worker processes)",
+                file=sys.stderr,
+            )
+            return 2
     for path in (args.out, args.trace_out):
         if not path:
             continue
@@ -480,7 +600,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # anything else in the process, e.g. the bench harness).
     sanitized = args.sanitize or sanitize.enabled()
     traced = args.trace_out is not None
-    tasks = [(key, sanitized, traced) for key in keys]
+    if args.partitions is not None:
+        return _cmd_run_partitioned(args, keys, sanitized, traced)
+    tasks = [(key, sanitized, traced, args.profile) for key in keys]
     parallel = args.jobs > 1 and len(keys) > 1
     traces: Dict[str, Optional[bytes]] = {}
     if not args.json and not args.out and not args.profile:
@@ -489,7 +611,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             # byte-identical to the sequential run.
             rendered: Dict[str, str] = {}
             summaries: Dict[str, Optional[Dict]] = {}
-            for _, (key, text, _, summary, trace_bytes, _meta) in parallel_map(
+            for _, (key, text, _, summary, trace_bytes, _meta, _stats) in parallel_map(
                 _run_worker, list(zip(keys, tasks)),
                 jobs=min(args.jobs, len(keys)),
             ):
@@ -504,7 +626,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else:
             for key in keys:
                 if traced or sanitized:
-                    text, _, summary, trace_bytes, _meta = _execute_run(
+                    text, _, summary, trace_bytes, _meta, _stats = _execute_run(
                         key, sanitized, traced
                     )
                     traces[key] = trace_bytes
@@ -521,7 +643,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     results = []
     if parallel:
         records: Dict[str, Dict[str, object]] = {}
-        for _, (key, text, data, summary, trace_bytes, trace_meta) in parallel_map(
+        for _, (
+            key, text, data, summary, trace_bytes, trace_meta, stats
+        ) in parallel_map(
             _run_worker, list(zip(keys, tasks)),
             jobs=min(args.jobs, len(keys)),
         ):
@@ -537,6 +661,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 records[key]["sanitizer"] = summary
             if trace_meta is not None:
                 records[key]["trace"] = trace_meta
+            if stats is not None:
+                # Each experiment profiled in its own worker; the raw
+                # stats dict crossed the process boundary, the top-N is
+                # rendered here in the parent.
+                records[key]["profile"] = profile_top_from_stats(
+                    stats, args.top
+                )
             traces[key] = trace_bytes
         results = [records[key] for key in keys]
     else:
@@ -645,6 +776,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             trace=not args.no_trace,
             progress=progress,
             jobs=max(1, args.jobs),
+            partitions=args.partitions,
         )
         bench_mod.save_snapshot(snapshot, out_path)
     except (BenchError, OSError) as error:

@@ -42,19 +42,41 @@ class PPT4Study:
     cedar_mflops_at_32: Tuple[float, float]  # min/max over sizes >= 10K
 
 
-def cedar_cg_points(
-    config: CedarConfig = DEFAULT_CONFIG,
+def units() -> List[str]:
+    """Independent simulator-run units: serial baselines + (P, N) points.
+
+    Each unit is one ``cg_time_cycles`` run; :func:`combine` derives the
+    scalability points and the (analytic, cheap) CM-5 side, so sharding
+    these across partitions reproduces :func:`run` exactly.
+    """
+    names = [f"serial:{n}" for n in CEDAR_PROBLEM_SIZES]
+    names.extend(
+        f"cg:{processors}:{n}"
+        for processors in CEDAR_PROCESSOR_COUNTS
+        for n in CEDAR_PROBLEM_SIZES
+        if n >= processors * 64  # below one strip per CE: not meaningful
+    )
+    return names
+
+
+def run_unit(unit: str, config: CedarConfig = DEFAULT_CONFIG) -> float:
+    """One CG timing run (cycles) for a serial baseline or a (P, N) point."""
+    parts = unit.split(":")
+    if parts[0] == "serial":
+        return cg_time_cycles(1, int(parts[1]), config)
+    return cg_time_cycles(int(parts[1]), int(parts[2]), config)
+
+
+def _cedar_points_from_cycles(
+    serial_cycles: Dict[int, float],
+    point_cycles: Dict[Tuple[int, int], float],
 ) -> List[ScalabilityPoint]:
-    """CG rate/efficiency across (P, N) on the cycle simulator."""
     points: List[ScalabilityPoint] = []
-    serial_cycles: Dict[int, float] = {}
-    for n in CEDAR_PROBLEM_SIZES:
-        serial_cycles[n] = cg_time_cycles(1, n, config)
     for processors in CEDAR_PROCESSOR_COUNTS:
         for n in CEDAR_PROBLEM_SIZES:
             if n < processors * 64:
-                continue  # below one strip per CE: not a meaningful run
-            cycles = cg_time_cycles(processors, n, config)
+                continue
+            cycles = point_cycles[(processors, n)]
             mflops = FLOPS_PER_POINT * n / (cycles * 170e-9) / 1e6
             speedup = serial_cycles[n] / cycles
             points.append(
@@ -68,8 +90,23 @@ def cedar_cg_points(
     return points
 
 
-def run(config: CedarConfig = DEFAULT_CONFIG) -> PPT4Study:
-    cedar_points = cedar_cg_points(config)
+def cedar_cg_points(
+    config: CedarConfig = DEFAULT_CONFIG,
+) -> List[ScalabilityPoint]:
+    """CG rate/efficiency across (P, N) on the cycle simulator."""
+    serial_cycles = {
+        n: cg_time_cycles(1, n, config) for n in CEDAR_PROBLEM_SIZES
+    }
+    point_cycles = {
+        (processors, n): cg_time_cycles(processors, n, config)
+        for processors in CEDAR_PROCESSOR_COUNTS
+        for n in CEDAR_PROBLEM_SIZES
+        if n >= processors * 64
+    }
+    return _cedar_points_from_cycles(serial_cycles, point_cycles)
+
+
+def _study_from_points(cedar_points: List[ScalabilityPoint]) -> PPT4Study:
     cedar = evaluate_ppt4("cedar", cedar_points)
     cm5 = {}
     for bandwidth in (3, 11):
@@ -90,6 +127,26 @@ def run(config: CedarConfig = DEFAULT_CONFIG) -> PPT4Study:
         cm5=cm5,
         cedar_mflops_at_32=(min(at_32), max(at_32)),
     )
+
+
+def combine(results: Dict[str, float]) -> PPT4Study:
+    """Assemble per-unit cycle counts into the full study."""
+    serial_cycles = {
+        n: results[f"serial:{n}"] for n in CEDAR_PROBLEM_SIZES
+    }
+    point_cycles = {
+        (processors, n): results[f"cg:{processors}:{n}"]
+        for processors in CEDAR_PROCESSOR_COUNTS
+        for n in CEDAR_PROBLEM_SIZES
+        if n >= processors * 64
+    }
+    return _study_from_points(
+        _cedar_points_from_cycles(serial_cycles, point_cycles)
+    )
+
+
+def run(config: CedarConfig = DEFAULT_CONFIG) -> PPT4Study:
+    return _study_from_points(cedar_cg_points(config))
 
 
 def headline_metrics(study: PPT4Study) -> List[HeadlineMetric]:

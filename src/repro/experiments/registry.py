@@ -9,7 +9,7 @@ fidelity section of ``BENCH_<n>.json``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.metrics.headline import HeadlineMetric
 from repro.trace import Tracer, tracing
@@ -47,6 +47,14 @@ class Experiment:
     #: Whether the driver is cheap enough for `cedar-repro bench --quick`
     #: (analytic model or sub-minute cycle simulation).
     quick: bool = False
+    #: Optional unit decomposition for partitioned execution
+    #: (``--partitions N``): ``units()`` names independent machine-run
+    #: units, ``run_unit(name)`` executes one, and ``combine({name:
+    #: result})`` reassembles exactly what ``run()`` returns.  Experiments
+    #: without a decomposition run as a single unit.
+    units: Optional[Callable[[], List[str]]] = None
+    run_unit: Optional[Callable[[str], object]] = None
+    combine: Optional[Callable[[Dict[str, object]], object]] = None
 
 
 EXPERIMENTS: Dict[str, Experiment] = {
@@ -58,6 +66,9 @@ EXPERIMENTS: Dict[str, Experiment] = {
             table1.run,
             table1.render,
             table1.headline_metrics,
+            units=table1.units,
+            run_unit=table1.run_unit,
+            combine=table1.combine,
         ),
         Experiment(
             "table2",
@@ -65,6 +76,9 @@ EXPERIMENTS: Dict[str, Experiment] = {
             table2.run,
             table2.render,
             table2.headline_metrics,
+            units=table2.units,
+            run_unit=table2.run_unit,
+            combine=table2.combine,
         ),
         Experiment(
             "table3",
@@ -112,6 +126,9 @@ EXPERIMENTS: Dict[str, Experiment] = {
             ppt4_scalability.run,
             ppt4_scalability.render,
             ppt4_scalability.headline_metrics,
+            units=ppt4_scalability.units,
+            run_unit=ppt4_scalability.run_unit,
+            combine=ppt4_scalability.combine,
         ),
         Experiment(
             "ppt5",

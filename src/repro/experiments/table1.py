@@ -39,16 +39,36 @@ class Table1Result:
         )
 
 
-def run(config: CedarConfig = DEFAULT_CONFIG) -> Table1Result:
-    """Regenerate every cell of Table 1 on the simulator."""
+def units() -> List[str]:
+    """Independent machine-run units: one per (version, clusters) cell."""
+    return [
+        f"{version.name}:{clusters}"
+        for version in RankUpdateVersion
+        for clusters in CLUSTER_COUNTS
+    ]
+
+
+def run_unit(unit: str, config: CedarConfig = DEFAULT_CONFIG) -> float:
+    """Measure one Table 1 cell's MFLOPS (an independent simulator run)."""
+    version_name, clusters_text = unit.split(":")
+    version = RankUpdateVersion[version_name]
+    return measure_rank_update(version, int(clusters_text), config).mflops
+
+
+def combine(results: Dict[str, float]) -> Table1Result:
+    """Assemble per-unit MFLOPS into the table, in declared unit order."""
     measured: Dict[RankUpdateVersion, Tuple[float, ...]] = {}
     for version in RankUpdateVersion:
-        row = tuple(
-            measure_rank_update(version, clusters, config).mflops
+        measured[version] = tuple(
+            results[f"{version.name}:{clusters}"]
             for clusters in CLUSTER_COUNTS
         )
-        measured[version] = row
     return Table1Result(mflops=measured)
+
+
+def run(config: CedarConfig = DEFAULT_CONFIG) -> Table1Result:
+    """Regenerate every cell of Table 1 on the simulator."""
+    return combine({unit: run_unit(unit, config) for unit in units()})
 
 
 def headline_metrics(result: Table1Result) -> List[HeadlineMetric]:

@@ -62,18 +62,39 @@ class Table2Result:
         return [self.cells[(kernel, n)].interarrival for n in CE_COUNTS]
 
 
-def run(config: CedarConfig = DEFAULT_CONFIG) -> Table2Result:
+def units() -> List[str]:
+    """Independent machine-run units: one per (kernel, CE count) cell.
+
+    Partitioned execution (``--partitions N``) shards these across worker
+    processes; :func:`combine` reassembles them in this declared order, so
+    the result is identical for any shard assignment.
+    """
+    return [f"{name}:{count}" for name in KERNELS for count in CE_COUNTS]
+
+
+def run_unit(unit: str, config: CedarConfig = DEFAULT_CONFIG) -> Table2Cell:
+    """Measure one Table 2 cell (an independent simulator run)."""
+    name, count_text = unit.split(":")
+    result = KERNELS[name](int(count_text), config)
+    if result.first_word_latency is None:
+        raise RuntimeError(f"{name} produced no prefetch statistics")
+    return Table2Cell(
+        latency=result.first_word_latency,
+        interarrival=result.interarrival or 0.0,
+    )
+
+
+def combine(results: Dict[str, Table2Cell]) -> Table2Result:
+    """Assemble per-unit cells into the table, in declared unit order."""
     cells: Dict[Tuple[str, int], Table2Cell] = {}
-    for name, measure in KERNELS.items():
+    for name in KERNELS:
         for count in CE_COUNTS:
-            result = measure(count, config)
-            if result.first_word_latency is None:
-                raise RuntimeError(f"{name} produced no prefetch statistics")
-            cells[(name, count)] = Table2Cell(
-                latency=result.first_word_latency,
-                interarrival=result.interarrival or 0.0,
-            )
+            cells[(name, count)] = results[f"{name}:{count}"]
     return Table2Result(cells=cells)
+
+
+def run(config: CedarConfig = DEFAULT_CONFIG) -> Table2Result:
+    return combine({unit: run_unit(unit, config) for unit in units()})
 
 
 def headline_metrics(result: Table2Result) -> List[HeadlineMetric]:

@@ -49,7 +49,20 @@ class CedarMachine:
         self,
         config: CedarConfig = DEFAULT_CONFIG,
         tracer: Optional[Tracer] = None,
+        request_delivery: Optional[object] = None,
+        reply_delivery: Optional[object] = None,
     ) -> None:
+        """Assemble the machine, optionally re-routing the delivery seams.
+
+        ``request_delivery`` replaces the forward network as what the
+        memory modules pull requests from, and ``reply_delivery`` replaces
+        the reverse network as what CE ports attach their reply sinks to.
+        Both default to the machine's own networks (the fused single
+        process machine).  Partitioned simulation passes
+        :class:`~repro.partition.boundary.BoundaryChannel` fabrics here --
+        the only coupling the endpoints have is ``delivery_queue(port)``
+        and ``attach_sink(port, handler)``, which the channels duck-type.
+        """
         self.config = config
         self.engine = Engine()
         # Invariant sanitizer: the ambient one (see `sanitizing()` /
@@ -82,7 +95,7 @@ class CedarMachine:
             engine=self.engine,
             config=config.global_memory,
             sync_config=config.sync,
-            forward=self.forward,
+            forward=request_delivery or self.forward,
             reverse=self.reverse,
             sync_handler=_default_sync_handler,
             tracer=tracer,
@@ -93,7 +106,7 @@ class CedarMachine:
                 config=config,
                 index=i,
                 forward=self.forward,
-                reverse=self.reverse,
+                reverse=reply_delivery or self.reverse,
                 monitor=self.monitor,
                 tracer=tracer,
             )

@@ -169,7 +169,12 @@ class OmegaNetwork:
     # -- endpoints -------------------------------------------------------
 
     def delivery_queue(self, port: int) -> BoundedWordQueue:
-        """The exit queue of ``port``, for pull-based endpoints."""
+        """The exit queue of ``port``, for pull-based endpoints.
+
+        Together with :meth:`attach_sink` this is the network's entire
+        endpoint surface -- partition boundary channels duck-type exactly
+        these two methods to stand in for a network across the cut.
+        """
         if not 0 <= port < self.num_lines:
             raise ConfigurationError(f"port {port} out of range")
         return self._delivery_queues[port]

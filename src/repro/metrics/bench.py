@@ -62,6 +62,9 @@ _PROFILE_DIRECTION: Dict[str, int] = {
     "wall_seconds": -1,          # more seconds = slower simulator
     "events_per_sec": +1,        # fewer events/sec = slower simulator
     "trace_overhead_ratio": -1,  # larger share of wall in instrumentation
+    # Partitioned-execution throughput (``bench --partitions N``); absent
+    # from older snapshots, so first appearance diffs as an info finding.
+    "partitioned_events_per_sec": +1,
 }
 
 
@@ -155,12 +158,57 @@ def _bench_worker(task: Tuple[str, bool]) -> Dict[str, object]:
     return bench_experiment(key, trace=trace)
 
 
+def partitioned_profile(
+    key: str, partitions: int, events: Optional[float] = None
+) -> Optional[Dict[str, object]]:
+    """Time one experiment under partitioned execution (``--partitions N``).
+
+    Returns the extra ``self_profile`` keys, or ``None`` for experiments
+    without a unit decomposition (nothing to shard).  When ``events`` is
+    given (the deterministic ``events_processed`` count from the normal
+    bench run of the same experiment), the timed pass runs fully
+    *uninstrumented* -- tracers disabled, nothing on the hot path -- and
+    the rate is ``events / wall``: the partitioned fast path measured the
+    same way the engine would run with recording off.  Without an event
+    count the pass falls back to the small-ring telemetry tracers and
+    their exact counter totals.  Either way fidelity and machine sections
+    still come from the normal run and cannot drift.
+    """
+    from repro.experiments.registry import get_experiment
+    from repro.partition import run_partitioned
+
+    if get_experiment(key).units is None:
+        return None
+    run = run_partitioned(
+        key, partitions, traced=False, instrumented=events is None
+    )
+    telemetry = run.telemetry
+    wall = float(telemetry["wall_seconds"])
+    if events is None:
+        rate = telemetry["events_per_sec"]
+    else:
+        rate = float(events) / wall if wall > 0 else 0.0
+    return {
+        "partitions": partitions,
+        "partitioned_events_per_sec": rate,
+        "partitioned_wall_seconds": wall,
+        "partitioned_barrier_stall_seconds": max(
+            stat["barrier_stall_seconds"]
+            for stat in telemetry["partition_stats"]
+        ),
+        # Per-partition detail; a list, so the drift checker (numeric
+        # series only) records but never compares it.
+        "partition_stats": telemetry["partition_stats"],
+    }
+
+
 def build_snapshot(
     keys: Sequence[str],
     snapshot_index: int,
     trace: bool = True,
     progress=None,
     jobs: int = 1,
+    partitions: Optional[int] = None,
 ) -> Dict[str, object]:
     """Run ``keys`` and assemble the full snapshot document.
 
@@ -169,6 +217,12 @@ def build_snapshot(
     assembled in the caller's key order -- never completion order -- so the
     snapshot is byte-identical for any job count, modulo the wall-clock
     numbers in ``self_profile``.
+
+    With ``partitions``, every unit-decomposable experiment gets an extra
+    partitioned timed pass (run in this process, *after* the normal runs:
+    partitioned execution forks its own shard workers, which the daemonic
+    ``--jobs`` children may not) whose throughput lands in
+    ``self_profile`` next to the single-process numbers.
     """
     experiments: Dict[str, object] = {}
     if jobs > 1 and len(keys) > 1:
@@ -187,7 +241,19 @@ def build_snapshot(
             if progress is not None:
                 progress(key)
             experiments[key] = bench_experiment(key, trace=trace)
-    return {
+    if partitions is not None and partitions > 1:
+        from repro.experiments.registry import get_experiment
+
+        for key in keys:
+            if get_experiment(key).units is None:
+                continue
+            if progress is not None:
+                progress(f"{key} [partitioned x{partitions}]")
+            events = experiments[key]["self_profile"].get("events_processed")
+            extra = partitioned_profile(key, partitions, events=events)
+            if extra is not None:
+                experiments[key]["self_profile"].update(extra)
+    document: Dict[str, object] = {
         "schema": SCHEMA,
         "schema_version": SCHEMA_VERSION,
         "snapshot": snapshot_index,
@@ -195,6 +261,9 @@ def build_snapshot(
         "code_version": version_fingerprint(),
         "experiments": experiments,
     }
+    if partitions is not None:
+        document["partitions"] = partitions
+    return document
 
 
 # ---------------------------------------------------------------------------

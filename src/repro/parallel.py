@@ -60,11 +60,18 @@ def _child_main(worker, key, payload, channel, streams_events) -> None:
 
 
 class _TaskProcesses:
-    """Bookkeeping shared by :func:`run_in_process` and :func:`parallel_map`."""
+    """Bookkeeping shared by :func:`run_in_process` and :func:`parallel_map`.
 
-    def __init__(self) -> None:
+    ``daemon=False`` lets a worker spawn its own children (a partitioned
+    run inside a serve job worker); such workers are still terminated by
+    :meth:`terminate_all` on the error paths, so nothing outlives the
+    parent in practice.
+    """
+
+    def __init__(self, daemon: bool = True) -> None:
         self.context = multiprocessing.get_context()
         self.channel = self.context.Queue()
+        self.daemon = daemon
         self.active: dict = {}  # key -> Process
         self.done: set = set()  # keys whose terminal message arrived
 
@@ -72,7 +79,7 @@ class _TaskProcesses:
         process = self.context.Process(
             target=_child_main,
             args=(worker, key, payload, self.channel, streams_events),
-            daemon=True,
+            daemon=self.daemon,
         )
         process.start()
         self.active[key] = process
@@ -132,6 +139,7 @@ def run_in_process(
     key: str,
     payload: object,
     on_event: Optional[Callable[[object], None]] = None,
+    daemon: bool = True,
 ) -> object:
     """Run ``worker(payload, emit)`` in a fresh process; return its result.
 
@@ -139,9 +147,10 @@ def run_in_process(
     the parent, in order, before the result is returned.  A worker
     exception or silent death raises :class:`WorkerCrashError` tagged with
     ``key``.  Blocking -- the serve tier calls this from an executor
-    thread, one per in-flight job.
+    thread, one per in-flight job.  ``daemon=False`` allows the worker to
+    spawn its own processes (partitioned simulation inside a serve job).
     """
-    tasks = _TaskProcesses()
+    tasks = _TaskProcesses(daemon=daemon)
     try:
         tasks.spawn(worker, key, payload, streams_events=True)
         while True:

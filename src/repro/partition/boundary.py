@@ -1,0 +1,294 @@
+"""Boundary queues: the explicit cut between machine partitions.
+
+Partitioned simulation (DESIGN.md §10) splits the machine at the two
+places where packets cross between the cluster side and the memory side:
+
+* **request channel** -- forward-network output lines → memory modules
+  (replacing ``GlobalMemory``'s direct ``forward.delivery_queue(i)`` pull);
+* **reply channel** -- reverse-network output lines → CE network ports
+  (replacing ``NetworkPort``'s direct ``reverse.attach_sink`` wiring).
+
+A :class:`BoundaryChannel` owns one direction of the cut: a
+:class:`BoundaryLink` per port plus the receive-side delivery fabric.  The
+fabric duck-types the two ``OmegaNetwork`` endpoint methods the hardware
+actually uses -- ``delivery_queue(port)`` and ``attach_sink(port,
+handler)`` -- so memory modules and CE ports wire up against a channel
+without any signature change (see the injection seam in
+:class:`~repro.hardware.machine.CedarMachine`).
+
+Every message is stamped ``(epoch, seq)`` at send time and must arrive in
+strictly increasing ``(epoch, seq)`` order per link -- the sanitizer's
+``boundary.conservation`` invariant checks conservation and ordering
+across the cut.  Flow control is credit-based: a link starts with
+``capacity_words`` credits, sends debit them, and the receive side
+accumulates returns (at delivery for sink ports, at pop for queue ports)
+that travel back at the next epoch barrier.  A sender-side
+:class:`SenderTap` pops packets off a source network's output line while
+credits last and stalls otherwise, propagating back-pressure into the
+network exactly as a busy memory module would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.hardware import sanitize
+from repro.hardware.engine import Engine
+from repro.hardware.packet import Packet
+from repro.hardware.queueing import BoundedWordQueue
+
+
+@dataclass(frozen=True)
+class BoundaryMessage:
+    """One packet crossing the partition cut, stamped for ordering."""
+
+    port: int
+    epoch: int
+    seq: int
+    send_cycle: int
+    packet: Packet
+
+
+class BoundaryLink:
+    """One port's worth of one boundary direction (sender-half state).
+
+    Credits measure receive-side buffer words the sender may still claim;
+    they bound in-flight + queued words to ``capacity_words`` so the cut
+    preserves the networks' bounded-queue discipline.
+    """
+
+    def __init__(
+        self,
+        channel: "BoundaryChannel",
+        port: int,
+        capacity_words: int,
+    ) -> None:
+        self.channel = channel
+        self.port = port
+        self.name = f"{channel.name}[{port}]"
+        self.capacity_words = capacity_words
+        self.credits = capacity_words
+        #: True when the paired half lives in another process; the
+        #: sanitizer then checks ordering only (conservation closes
+        #: remotely) and skips the finalize balance for this link.
+        self.remote = False
+        self._seq = 0
+        self._outbox: List[BoundaryMessage] = []
+
+    def can_send(self, packet: Packet) -> bool:
+        return packet.words <= self.credits
+
+    def send(self, packet: Packet, cycle: int) -> BoundaryMessage:
+        """Stamp and stage a packet; it crosses at the next barrier."""
+        if packet.words > self.credits:
+            raise SimulationError(
+                f"boundary link {self.name} overcommitted: "
+                f"{packet.words} words into {self.credits} credits"
+            )
+        self.credits -= packet.words
+        self._seq += 1
+        message = BoundaryMessage(
+            port=self.port,
+            epoch=self.channel.epoch,
+            seq=self._seq,
+            send_cycle=cycle,
+            packet=packet,
+        )
+        sanitizer = self.channel.sanitizer
+        if sanitizer is not None:
+            sanitizer.boundary_sent(self, message)
+        if not self._outbox:
+            self.channel._dirty.append(self)
+        self._outbox.append(message)
+        return message
+
+
+class SenderTap:
+    """Drains a source network output line into a boundary link.
+
+    Mirrors ``OmegaNetwork.attach_sink``'s pop-inside-listener discipline,
+    but gated on link credits: with no credit for the head packet the tap
+    stalls, leaving the packet queued so back-pressure reaches the
+    crossbar.  When credits return at a barrier the scheduler arms
+    :meth:`retry` as an ordinary engine event, so a stalled tap keeps the
+    engine non-quiescent and drains during dispatch like any other
+    component.
+    """
+
+    def __init__(
+        self, engine: Engine, source: BoundedWordQueue, link: BoundaryLink
+    ) -> None:
+        self.engine = engine
+        self.source = source
+        self.link = link
+        self.stalled = False
+        link.channel.attach_tap(link.port, self)
+        source.add_item_listener(self._drain)
+
+    def _drain(self) -> None:
+        source = self.source
+        link = self.link
+        while True:
+            head = source.head()
+            if head is None:
+                self.stalled = False
+                return
+            if not link.can_send(head):
+                self.stalled = True
+                return
+            link.send(source.pop(), self.engine.now)
+
+    def retry(self) -> None:
+        """Re-drain after credits returned (scheduled at the barrier)."""
+        self._drain()
+
+
+class _CreditQueue(BoundedWordQueue):
+    """Receive-side buffer that returns link credits as words are popped."""
+
+    def __init__(
+        self, capacity_words: int, name: str, on_pop: Callable[[int], None]
+    ) -> None:
+        super().__init__(capacity_words, name)
+        self._on_pop = on_pop
+
+    def pop(self) -> Packet:
+        packet = super().pop()
+        self._on_pop(packet.words)
+        return packet
+
+
+class BoundaryChannel:
+    """All links of one boundary direction, plus the delivery fabric.
+
+    The same class serves both in-process use (both halves on one object)
+    and cross-process use (each side instantiates the channel and uses
+    only its half; :attr:`BoundaryLink.remote` marks the split halves for
+    the sanitizer).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_ports: int,
+        latency: int,
+        capacity_words: int,
+    ) -> None:
+        if latency < 1:
+            raise SimulationError(
+                f"boundary latency must be >= 1 cycle, got {latency}"
+            )
+        self.name = name
+        self.latency = latency
+        #: Current epoch number, advanced by the scheduler; stamps sends.
+        self.epoch = 0
+        self.sanitizer = sanitize.current()
+        self.links = [
+            BoundaryLink(self, port, capacity_words) for port in range(num_ports)
+        ]
+        if self.sanitizer is not None:
+            for link in self.links:
+                self.sanitizer.register_boundary_link(link)
+        self._dirty: List[BoundaryLink] = []
+        self._taps: Dict[int, SenderTap] = {}
+        self._queues: Dict[int, _CreditQueue] = {}
+        self._sinks: Dict[int, Callable[[Packet], None]] = {}
+        self._returned: Dict[int, int] = {}
+
+    def mark_remote(self) -> None:
+        """Declare the paired halves remote (cross-process transport)."""
+        for link in self.links:
+            link.remote = True
+
+    # -- sender half ---------------------------------------------------------
+
+    def attach_tap(self, port: int, tap: SenderTap) -> None:
+        if port in self._taps:
+            raise SimulationError(f"{self.name}[{port}] already has a tap")
+        self._taps[port] = tap
+
+    def drain_outboxes(self) -> List[BoundaryMessage]:
+        """This epoch's sends, port-major then send-order (deterministic)."""
+        messages: List[BoundaryMessage] = []
+        for link in sorted(self._dirty, key=lambda link: link.port):
+            messages.extend(link._outbox)
+            link._outbox.clear()
+        self._dirty.clear()
+        return messages
+
+    def apply_credits(self, credits: List[tuple], engine: Engine) -> bool:
+        """Return words to sender links; re-arm any stalled taps.
+
+        Called at the barrier (engines stopped), so the tap retry is
+        scheduled as a next-cycle event rather than run inline -- sends
+        stay inside engine dispatch, where the epoch stamp is current.
+        """
+        progressed = False
+        for port, words in credits:
+            link = self.links[port]
+            link.credits += words
+            progressed = True
+            tap = self._taps.get(port)
+            if tap is not None and tap.stalled:
+                engine.schedule(1, tap.retry)
+        return progressed
+
+    def stalled_taps(self) -> List[SenderTap]:
+        return [tap for tap in self._taps.values() if tap.stalled]
+
+    # -- receiver half (duck-types the OmegaNetwork endpoint surface) --------
+
+    def delivery_queue(self, port: int) -> BoundedWordQueue:
+        """The receive buffer a pulling component (memory module) drains."""
+        queue = self._queues.get(port)
+        if queue is None:
+            link = self.links[port]
+            queue = _CreditQueue(
+                link.capacity_words,
+                name=f"{self.name}.in[{port}]",
+                on_pop=lambda words, port=port: self._credit(port, words),
+            )
+            self._queues[port] = queue
+        return queue
+
+    def attach_sink(self, port: int, handler: Callable[[Packet], None]) -> None:
+        """Deliver straight into ``handler`` (CE network ports)."""
+        if port in self._sinks:
+            raise SimulationError(f"{self.name}[{port}] already has a sink")
+        self._sinks[port] = handler
+
+    def deliver(self, message: BoundaryMessage) -> None:
+        """Hand one crossed message to its endpoint (runs as an event)."""
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.boundary_delivered(self.links[message.port], message)
+        sink = self._sinks.get(message.port)
+        if sink is not None:
+            self._credit(message.port, message.packet.words)
+            sink(message.packet)
+            return
+        queue = self._queues.get(message.port)
+        if queue is None:
+            raise SimulationError(
+                f"boundary delivery to unattached port {self.name}[{message.port}]"
+            )
+        queue.push(message.packet)
+
+    def _credit(self, port: int, words: int) -> None:
+        self._returned[port] = self._returned.get(port, 0) + words
+
+    def take_returned_credits(self) -> List[tuple]:
+        """Drain accumulated credit returns, port-ascending (deterministic)."""
+        credits = sorted(self._returned.items())
+        self._returned.clear()
+        return credits
+
+    # -- quiescence ----------------------------------------------------------
+
+    def idle(self) -> bool:
+        """No staged sends, no stalled taps, no pending credit returns."""
+        return not self._dirty and not self._returned and not any(
+            tap.stalled for tap in self._taps.values()
+        )

@@ -53,7 +53,7 @@ class Job:
     """One requested experiment run and its observable history."""
 
     def __init__(
-        self, job_id: str, experiment: str, config: Dict[str, bool], key: str
+        self, job_id: str, experiment: str, config: Dict[str, object], key: str
     ) -> None:
         self.id = job_id
         self.experiment = experiment
@@ -224,7 +224,7 @@ class JobRegistry:
             created.append(self._submit_one(experiment, request.config))
         return created
 
-    def _submit_one(self, experiment: str, config: Dict[str, bool]) -> Job:
+    def _submit_one(self, experiment: str, config: Dict[str, object]) -> Job:
         self._sequence += 1
         job = Job(
             f"j{self._sequence}",
@@ -388,6 +388,13 @@ class JobRegistry:
         return await loop.run_in_executor(
             self._threads,
             functools.partial(
-                run_in_process, execute_job, job.experiment, payload, forward
+                run_in_process,
+                execute_job,
+                job.experiment,
+                payload,
+                forward,
+                # Partitioned jobs fork their own shard processes, which a
+                # daemonic worker is forbidden to do.
+                daemon=False,
             ),
         )

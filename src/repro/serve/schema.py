@@ -26,16 +26,40 @@ from repro.errors import ServeError
 #: Config overrides a job may carry, with their defaults.  Every knob must
 #: either change the result bytes (``sanitize`` adds the checker summary to
 #: the record) or select an independently verified byte-identical engine
-#: variant (``fastpath``); both belong in the cache key because they change
-#: what was *run*, which provenance must not conflate.
-DEFAULT_JOB_CONFIG: Dict[str, bool] = {
+#: variant (``fastpath``, ``partitions``); all belong in the cache key
+#: because they change what was *run*, which provenance must not conflate.
+DEFAULT_JOB_CONFIG: Dict[str, object] = {
     "sanitize": False,
     "fastpath": True,
+    "partitions": 1,
 }
 
 
-def canonical_config(overrides: Optional[Mapping[str, object]]) -> Dict[str, bool]:
-    """Validate overrides and merge them over the defaults, key-sorted."""
+def _validate_bool(key: str, value: object) -> bool:
+    if not isinstance(value, bool):
+        raise ServeError(f"config key {key!r} must be a boolean, got {value!r}")
+    return value
+
+
+def _validate_partitions(key: str, value: object) -> int:
+    # bool is an int subclass; reject it explicitly.
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ServeError(
+            f"config key {key!r} must be an integer >= 1, got {value!r}"
+        )
+    return value
+
+
+#: Per-key validators: each canonicalizes (or rejects) one override.
+_CONFIG_VALIDATORS = {
+    "sanitize": _validate_bool,
+    "fastpath": _validate_bool,
+    "partitions": _validate_partitions,
+}
+
+
+def canonical_config(overrides: Optional[Mapping[str, object]]) -> Dict[str, object]:
+    """Validate overrides per-key and merge them over the defaults, key-sorted."""
     if overrides is None:
         overrides = {}
     if not isinstance(overrides, Mapping):
@@ -51,20 +75,16 @@ def canonical_config(overrides: Optional[Mapping[str, object]]) -> Dict[str, boo
         )
     merged = dict(DEFAULT_JOB_CONFIG)
     for key, value in overrides.items():
-        if not isinstance(value, bool):
-            raise ServeError(
-                f"config key {key!r} must be a boolean, got {value!r}"
-            )
-        merged[key] = value
+        merged[key] = _CONFIG_VALIDATORS[key](key, value)
     return {key: merged[key] for key in sorted(merged)}
 
 
-def canonical_config_json(config: Mapping[str, bool]) -> str:
+def canonical_config_json(config: Mapping[str, object]) -> str:
     """The canonical serialized form hashed into cache keys."""
     return json.dumps(config, sort_keys=True, separators=(",", ":"))
 
 
-def cache_key(experiment: str, config: Mapping[str, bool], fingerprint: str) -> str:
+def cache_key(experiment: str, config: Mapping[str, object], fingerprint: str) -> str:
     """Content address of one deterministic result (64 hex chars)."""
     digest = hashlib.sha256()
     for part in (experiment, canonical_config_json(config), fingerprint):
@@ -78,7 +98,7 @@ class JobRequest:
     """One validated ``POST /jobs`` body: experiments to run plus config."""
 
     experiments: Tuple[str, ...]
-    config: Dict[str, bool]
+    config: Dict[str, object]
 
 
 def parse_job_request(

@@ -148,7 +148,7 @@ class ProgressTracer(Tracer):
 
 def build_record(
     experiment_key: str,
-    config: Dict[str, bool],
+    config: Dict[str, object],
     emit: Optional[Emit] = None,
     tracer: Optional[ProgressTracer] = None,
 ) -> Dict[str, object]:
@@ -169,20 +169,43 @@ def build_record(
     if emit is None:
         emit = lambda data: None  # noqa: E731
     experiment = get_experiment(experiment_key)
+    partitions = int(config.get("partitions", 1))
     previous_fastpath = fastpath.set_enabled(config.get("fastpath", True))
     try:
         if tracer is None:
             tracer = ProgressTracer(emit)
         emit({"type": "running", "experiment": experiment_key, "config": config})
-        with tracing(tracer):
-            if config.get("sanitize", False):
-                rendered, result, summary = run_experiment_sanitized(
-                    experiment_key
-                )
-            else:
-                result = experiment.run()
-                rendered = experiment.render(result)
-                summary = None
+        if partitions > 1:
+            # Partitioned parallel simulation: units run in forked child
+            # processes (they inherit the fastpath setting), each with its
+            # own tracer/sanitizer; this worker must be non-daemonic.
+            from repro.partition import run_partitioned
+
+            partitioned = run_partitioned(
+                experiment_key,
+                partitions,
+                sanitized=bool(config.get("sanitize", False)),
+            )
+            result = partitioned.result
+            rendered = partitioned.rendered
+            summary = partitioned.sanitizer
+            emit(
+                {
+                    "type": "partitioned",
+                    "partitions": partitions,
+                    "events_per_sec": partitioned.telemetry["events_per_sec"],
+                }
+            )
+        else:
+            with tracing(tracer):
+                if config.get("sanitize", False):
+                    rendered, result, summary = run_experiment_sanitized(
+                        experiment_key
+                    )
+                else:
+                    result = experiment.run()
+                    rendered = experiment.render(result)
+                    summary = None
     finally:
         fastpath.set_enabled(previous_fastpath)
     record: Dict[str, object] = {

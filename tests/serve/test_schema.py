@@ -46,6 +46,17 @@ class TestCanonicalConfig:
             canonical_config_json(canonical_config({"sanitize": False}))
         )
 
+    def test_partitions_default_is_single(self):
+        assert canonical_config(None)["partitions"] == 1
+
+    def test_partitions_override_applies(self):
+        assert canonical_config({"partitions": 4})["partitions"] == 4
+
+    @pytest.mark.parametrize("bad", [0, -1, True, False, "2", 2.0, None])
+    def test_partitions_must_be_positive_integer(self, bad):
+        with pytest.raises(ServeError, match="integer >= 1"):
+            canonical_config({"partitions": bad})
+
 
 class TestCacheKey:
     FP = "1.0.0+0123456789abcdef"
@@ -62,6 +73,9 @@ class TestCacheKey:
         assert cache_key("table1", config, self.FP) != base
         assert cache_key(
             "table2", canonical_config({"sanitize": True}), self.FP
+        ) != base
+        assert cache_key(
+            "table2", canonical_config({"partitions": 2}), self.FP
         ) != base
         assert cache_key("table2", config, "1.0.0+ffffffffffffffff") != base
 

@@ -393,7 +393,9 @@ class TestRealSimulation:
             record = json.loads(cold.decode("utf-8"))
             assert record["experiment"] == "table6"
             assert record["code_version"] == version_fingerprint()
-            assert record["config"] == {"fastpath": True, "sanitize": False}
+            assert record["config"] == {
+                "fastpath": True, "partitions": 1, "sanitize": False
+            }
 
             samples = parse_prometheus(client.metrics_text())
             assert samples["serve_cache_hits_total"] == 1

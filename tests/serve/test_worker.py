@@ -82,3 +82,27 @@ class TestExecuteJob:
         assert first["result"] == second["result"]
         assert b"overhead" not in first["result"]
         assert b"wall_seconds" not in first["result"]
+
+
+class TestPartitionedJob:
+    def test_partitioned_record_matches_single_modulo_config(self):
+        import multiprocessing
+
+        if multiprocessing.get_start_method() != "fork":
+            import pytest
+
+            pytest.skip("partitioned workers fork from the test process")
+        events = []
+        sharded = worker.build_record(
+            "table6", {"partitions": 2, "sanitize": True}, events.append
+        )
+        single = worker.build_record(
+            "table6", {"partitions": 1, "sanitize": True}, lambda data: None
+        )
+        assert sharded["rendered"] == single["rendered"]
+        assert sharded["result"] == single["result"]
+        assert sharded["sanitizer"] == single["sanitizer"]
+        # Only the config coordinate (part of the cache key) differs.
+        assert sharded["config"]["partitions"] == 2
+        marks = [e for e in events if e["type"] == "partitioned"]
+        assert len(marks) == 1 and marks[0]["partitions"] == 2

@@ -108,13 +108,24 @@ class TestRunProfile:
             assert set(row) == {"function", "ncalls", "tottime", "cumtime"}
             assert row["tottime"] >= 0
 
-    def test_profile_forces_single_job(self, capsys):
-        assert main(
-            ["run", "table6", "--profile", "--jobs", "4", "--json"]
+    def test_profile_aggregates_across_jobs(self, monkeypatch, capsys):
+        # Each worker profiles its own experiment; the parent merges the
+        # raw stats dicts, so every record still carries a profile.
+        import repro.cli as cli
+
+        subset = {k: cli.EXPERIMENTS[k] for k in ("table6", "table5")}
+        monkeypatch.setattr(cli, "EXPERIMENTS", subset)
+        assert cli.main(
+            ["run", "all", "--profile", "--jobs", "2", "--json"]
         ) == 0
         captured = capsys.readouterr()
-        assert "--profile forces --jobs 1" in captured.err
-        assert json.loads(captured.out)[0]["profile"]
+        assert "--profile forces" not in captured.err
+        payload = json.loads(captured.out)
+        assert [e["experiment"] for e in payload] == ["table5", "table6"]
+        for entry in payload:
+            assert entry["profile"]
+            for row in entry["profile"]:
+                assert set(row) == {"function", "ncalls", "tottime", "cumtime"}
 
 
 class TestRunJobs:
@@ -210,6 +221,55 @@ class TestRunTraceOut:
         traced = json.loads(capsys.readouterr().out)[0]
         assert traced["rendered"] == plain["rendered"]
         assert traced["result"] == plain["result"]
+
+
+class TestRunPartitions:
+    def test_partitions_must_be_positive(self, capsys):
+        assert main(["run", "table6", "--partitions", "0"]) == 2
+        assert "--partitions must be >= 1" in capsys.readouterr().err
+
+    def test_partitions_and_jobs_are_exclusive(self, capsys):
+        assert main(
+            ["run", "table6", "--partitions", "2", "--jobs", "2"]
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_whole_unit_experiment_matches_plain_run(self, capsys):
+        # table6 declares no unit decomposition: it runs whole in
+        # partition 0 and the extra partition stays idle.
+        assert main(["run", "table6", "--json"]) == 0
+        plain = json.loads(capsys.readouterr().out)[0]
+        assert main(["run", "table6", "--partitions", "2", "--json"]) == 0
+        captured = capsys.readouterr()
+        entry = json.loads(captured.out)[0]
+        assert entry["rendered"] == plain["rendered"]
+        assert entry["result"] == plain["result"]
+        telemetry = entry["partition"]
+        assert telemetry["partitions"] == 2
+        assert telemetry["units"] == 1
+        assert [s["units"] for s in telemetry["partition_stats"]] == [1, 0]
+        assert "partition(s)" in captured.err  # stderr throughput lines
+
+    def test_partitioned_sanitizer_summary_matches(self, capsys):
+        assert main(["run", "table6", "--sanitize", "--json"]) == 0
+        plain = json.loads(capsys.readouterr().out)[0]
+        assert main(
+            ["run", "table6", "--partitions", "2", "--sanitize", "--json"]
+        ) == 0
+        entry = json.loads(capsys.readouterr().out)[0]
+        assert entry["sanitizer"] == plain["sanitizer"]
+
+    def test_partitioned_trace_is_byte_identical(self, tmp_path, capsys):
+        single = tmp_path / "p1.json"
+        double = tmp_path / "p2.json"
+        assert main(
+            ["run", "table6", "--partitions", "1", "--trace-out", str(single)]
+        ) == 0
+        assert main(
+            ["run", "table6", "--partitions", "2", "--trace-out", str(double)]
+        ) == 0
+        capsys.readouterr()
+        assert single.read_bytes() == double.read_bytes()
 
 
 class TestRunSanitize:

@@ -14,6 +14,7 @@ and comparing everything that is visible: monitor histograms, the full
 machine metrics registry, and engine dispatch counts.
 """
 
+import multiprocessing
 import random
 
 import pytest
@@ -147,6 +148,97 @@ def _fuzz_network_run(seed):
     assert sanitizer.violations == 0
     assert len(deliveries) == len(flows)
     return tuple(deliveries), engine.events_dispatched, network.occupancy_words()
+
+
+# ---------------------------------------------------------------------------
+# Partitioned execution (--partitions N): sharding must be invisible
+# ---------------------------------------------------------------------------
+
+_KERNEL_UNITS = {
+    "vl:4": lambda: measure_vector_load(4),
+    "vl:8": lambda: measure_vector_load(8),
+    "td:4": lambda: measure_tridiag(4),
+    "td:8": lambda: measure_tridiag(8),
+}
+
+
+def _register_kernel_experiment(monkeypatch):
+    """Register a tiny unit-decomposed experiment over real kernels.
+
+    Worker processes inherit the patched registry through fork, so the
+    partitioned runner resolves the same experiment in every shard.
+    """
+    from repro.experiments import registry
+
+    experiment = registry.Experiment(
+        key="kernel-grid",
+        description="real cycle-level kernels as independent units",
+        run=lambda: {
+            name: repr(run()) for name, run in _KERNEL_UNITS.items()
+        },
+        render=lambda result: "\n".join(
+            f"{name}: {result[name]}" for name in sorted(result)
+        ),
+        units=lambda: list(_KERNEL_UNITS),
+        run_unit=lambda name: repr(_KERNEL_UNITS[name]()),
+        combine=lambda results: {
+            name: results[name] for name in _KERNEL_UNITS
+        },
+    )
+    monkeypatch.setitem(registry.EXPERIMENTS, "kernel-grid", experiment)
+    return experiment
+
+
+@pytest.mark.parametrize("partitions", [2, 4])
+def test_partitioned_kernels_byte_identical(monkeypatch, partitions):
+    """--partitions 2/4 vs 1 on real kernels: every artifact identical."""
+    if multiprocessing.get_start_method() != "fork":
+        pytest.skip("worker processes inherit the test registry via fork")
+    from repro.partition import run_partitioned
+
+    _register_kernel_experiment(monkeypatch)
+    single = run_partitioned(
+        "kernel-grid", 1, sanitized=True, traced=True
+    )
+    sharded = run_partitioned(
+        "kernel-grid", partitions, sanitized=True, traced=True
+    )
+    assert sharded.rendered == single.rendered
+    assert sharded.result == single.result
+    assert sharded.sanitizer == single.sanitizer
+    assert sharded.sanitizer["violations"] == 0
+    assert sharded.trace_bytes == single.trace_bytes
+    assert sharded.telemetry["partitions"] == partitions
+    assert sharded.telemetry["units"] == len(_KERNEL_UNITS)
+    busy = [
+        stat for stat in sharded.telemetry["partition_stats"]
+        if stat["units"] > 0
+    ]
+    assert len(busy) == min(partitions, len(_KERNEL_UNITS))
+    assert all(stat["events_dispatched"] > 0 for stat in busy)
+
+
+def test_partitioned_run_matches_single_process_run(monkeypatch):
+    """combine({u: run_unit(u)}) is exactly run(): the sharding contract."""
+    experiment = _register_kernel_experiment(monkeypatch)
+    direct = experiment.run()
+    reassembled = experiment.combine(
+        {name: experiment.run_unit(name) for name in experiment.units()}
+    )
+    assert reassembled == direct
+
+
+@pytest.mark.parametrize("key", ["table1", "table2", "ppt4"])
+def test_registry_unit_decompositions_cover_run(key):
+    """Every registered decomposition reassembles run() exactly."""
+    from repro.experiments.registry import get_experiment
+
+    experiment = get_experiment(key)
+    if experiment.units is None:
+        pytest.skip(f"{key} declares no unit decomposition")
+    units = experiment.units()
+    assert len(units) == len(set(units))  # unit names are unique
+    assert units  # and non-empty
 
 
 @pytest.mark.parametrize("seed", [0, 7, 1993])
