@@ -28,6 +28,12 @@ Usage::
     cedar-repro bench                # full suite -> BENCH_<n>.json snapshot
                                      # + regression report vs the previous one
     cedar-repro bench --quick        # sub-minute subset (CI gate)
+    cedar-repro lint src            # static determinism/discipline
+                                     # analysis; exit 1 on any finding
+                                     # not in LINT_BASELINE.json
+    cedar-repro lint --explain det.set-iter
+                                     # the determinism argument one rule
+                                     # protects, and its proof fixtures
     cedar-repro serve --jobs 4 --cache-dir .cedar-cache
                                      # simulation-as-a-service: HTTP/JSON job
                                      # server with a deterministic result
@@ -48,7 +54,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro import results as results_mod
-from repro.errors import BenchError, WorkerCrashError
+from repro.errors import BenchError, LintError, WorkerCrashError
 from repro.experiments.registry import (
     EXPERIMENTS,
     QUICK_EXPERIMENTS,
@@ -252,6 +258,59 @@ def _build_parser() -> argparse.ArgumentParser:
         "partitioned events/s in self_profile (fidelity and machine "
         "sections still come from the normal run, so they cannot "
         "drift)",
+    )
+    lint = sub.add_parser(
+        "lint",
+        help="static determinism & simulation-discipline analysis "
+        "(AST rules, noqa suppressions, committed baseline; see "
+        "DESIGN.md §11)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to analyze (default: src)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable findings (schema version 1)",
+    )
+    lint.add_argument(
+        "--explain",
+        metavar="RULE",
+        default=None,
+        help="print a rule's determinism argument and exit ('all' for "
+        "the whole catalogue)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="grandfather list of sanctioned findings (default: "
+        "LINT_BASELINE.json when present; 'none' disables)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="write the current non-baselined findings as a new baseline "
+        "(entries get a TODO comment to replace with a justification)",
+    )
+    lint.add_argument(
+        "--self-check",
+        action="store_true",
+        help="prove every registered rule against its fire/clean fixture "
+        "pair instead of linting (the CI guard against silently-broken "
+        "rules)",
+    )
+    lint.add_argument(
+        "--fixtures",
+        metavar="DIR",
+        default="tests/lint/fixtures",
+        help="fixture directory for --self-check "
+        "(default: tests/lint/fixtures)",
     )
     serve = sub.add_parser(
         "serve",
@@ -798,6 +857,112 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import os
+
+    from repro import lint
+
+    if args.explain is not None:
+        rules = (
+            lint.all_rules()
+            if args.explain == "all"
+            else [lint.get_rule(args.explain)]
+        )
+        blocks = []
+        for rule in rules:
+            lines = [
+                f"{rule.id} -- {rule.title}",
+                f"  scope:  repro/{{{', '.join(rule.scope)}}}",
+            ]
+            if rule.exempt:
+                lines.append(f"  exempt: {', '.join(rule.exempt)}")
+            lines.append(
+                "  fixtures: tests/lint/fixtures/"
+                f"{rule.id}/{{fire,clean}}.py"
+            )
+            lines.append("")
+            lines.extend(f"  {line}" for line in rule.rationale.splitlines())
+            blocks.append("\n".join(lines))
+        print("\n\n".join(blocks))
+        return 0
+
+    if args.self_check:
+        failures = lint.self_check(args.fixtures)
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        checked = len(lint.all_rules())
+        if failures:
+            print(
+                f"self-check: {len(failures)} failure(s) across "
+                f"{checked} rules",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"self-check: all {checked} rules fire and stay clean")
+        return 0
+
+    report = lint.analyze_paths(args.paths)
+
+    baseline = lint.Baseline()
+    baseline_path = args.baseline
+    if baseline_path != "none":
+        if baseline_path is None and os.path.exists(lint.DEFAULT_BASELINE):
+            baseline_path = lint.DEFAULT_BASELINE
+        if baseline_path is not None:
+            baseline = lint.Baseline.load(baseline_path)
+    new, grandfathered, stale = baseline.partition(report.findings)
+
+    if args.write_baseline:
+        merged = lint.Baseline(
+            list(baseline.entries)
+            + list(
+                lint.Baseline.from_findings(
+                    new, "TODO: justify why this finding is safe, or fix it"
+                ).entries
+            )
+        )
+        merged.save(args.write_baseline)
+        print(
+            f"wrote {len(merged.entries)} baseline entr(y/ies) to "
+            f"{args.write_baseline}",
+            file=sys.stderr,
+        )
+
+    if args.json:
+        document = {
+            "version": 1,
+            "files_checked": report.files_checked,
+            "rules": [rule.id for rule in lint.all_rules()],
+            "findings": [f.to_json(baselined=False) for f in new]
+            + [f.to_json(baselined=True) for f in grandfathered],
+            "summary": {
+                "total": len(report.findings),
+                "new": len(new),
+                "baselined": len(grandfathered),
+                "suppressed": len(report.suppressed),
+                "stale_baseline": [entry.to_json() for entry in stale],
+            },
+        }
+        print(json.dumps(document, indent=2))
+        return 1 if new else 0
+
+    for finding in new:
+        print(finding.render())
+    summary = (
+        f"lint: {report.files_checked} file(s), {len(new)} finding(s) "
+        f"({len(grandfathered)} baselined, {len(report.suppressed)} "
+        "suppressed)"
+    )
+    print(summary, file=sys.stderr)
+    for entry in stale:
+        print(
+            f"stale baseline entry (nothing matches): {entry.rule} in "
+            f"{entry.file} -- remove it",
+            file=sys.stderr,
+        )
+    return 1 if new else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -902,10 +1067,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "submit":
             return _cmd_submit(args)
+    except LintError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     except WorkerCrashError as error:
         print(str(error), file=sys.stderr)
         if error.worker_traceback:

@@ -111,3 +111,7 @@ class MetricsError(CedarError):
 
 class BenchError(CedarError):
     """A benchmark snapshot is malformed or cannot be compared."""
+
+
+class LintError(CedarError):
+    """Unusable input to the static analyzer (unparseable file, bad baseline)."""

@@ -20,7 +20,11 @@ import os
 
 
 def _from_env() -> bool:
-    return os.environ.get("CEDAR_FASTPATH", "1").strip().lower() not in (
+    # The sanctioned snapshot-once pattern: read at import into a module
+    # switch; components then snapshot the switch at construction.
+    return os.environ.get(  # cedar: noqa[det.env-read]
+        "CEDAR_FASTPATH", "1"
+    ).strip().lower() not in (
         "0", "off", "false", "no",
     )
 

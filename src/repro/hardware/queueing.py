@@ -68,7 +68,7 @@ class BoundedWordQueue:
         words = packet.words
         if words > self.capacity_words - self._used_words:
             raise SimulationError(
-                f"queue {self.name or id(self)} overflow: "
+                f"queue {self.name or '<anonymous>'} overflow: "
                 f"{words} words into {self.free_words} free"
             )
         packets = self._packets
@@ -87,7 +87,9 @@ class BoundedWordQueue:
         """Dequeue the head packet and wake one blocked upstream writer."""
         packets = self._packets
         if not packets:
-            raise SimulationError(f"pop from empty queue {self.name or id(self)}")
+            raise SimulationError(
+                f"pop from empty queue {self.name or '<anonymous>'}"
+            )
         packet = packets.popleft()
         self._used_words -= packet.words
         if self._sanitizer is not None:
@@ -114,7 +116,7 @@ class BoundedWordQueue:
         """
         if listener is not None and self._head_listener is not None:
             raise SimulationError(
-                f"queue {self.name or id(self)} already has a head listener"
+                f"queue {self.name or '<anonymous>'} already has a head listener"
             )
         self._head_listener = listener
 

@@ -80,7 +80,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 
 
 def _from_env() -> bool:
-    return os.environ.get("CEDAR_SANITIZE", "0").strip().lower() in (
+    # The sanctioned snapshot-once pattern: read at import into a module
+    # switch; components then snapshot sanitize.current() at construction.
+    return os.environ.get(  # cedar: noqa[det.env-read]
+        "CEDAR_SANITIZE", "0"
+    ).strip().lower() in (
         "1", "on", "true", "yes",
     )
 
@@ -311,7 +315,7 @@ class Sanitizer:
 
     def _check_queue(self, queue: "BoundedWordQueue", credit: List[int]) -> None:
         self._count("queue.capacity")
-        name = queue.name or f"queue@{id(queue):x}"
+        name = queue.name or "<anonymous queue>"
         used = queue._used_words
         if not 0 <= used <= queue.capacity_words:
             self._violate(

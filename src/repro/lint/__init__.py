@@ -1,0 +1,44 @@
+"""`repro.lint`: static determinism & simulation-discipline analysis.
+
+The dynamic half of the byte-identity contract lives in
+``tests/test_determinism.py``; this package is the static half, run as
+``cedar-repro lint`` and gated in CI.  See :mod:`repro.lint.core` for
+the framework, :mod:`repro.lint.rules` for the rule catalogue
+(documented in DESIGN.md SS11), and ``tests/lint/fixtures/`` for the
+per-rule fire/clean proof pairs.
+"""
+
+from repro.errors import LintError
+from repro.lint.core import (
+    Finding,
+    Report,
+    Rule,
+    UNKNOWN_RULE_ID,
+    all_rules,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    collect_files,
+    get_rule,
+    self_check,
+)
+from repro.lint.baseline import Baseline, BaselineEntry, DEFAULT_BASELINE
+from repro.lint import rules as _rules  # noqa: F401  (registers the rules)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "LintError",
+    "Report",
+    "Rule",
+    "UNKNOWN_RULE_ID",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "collect_files",
+    "get_rule",
+    "self_check",
+]

@@ -1,0 +1,126 @@
+"""Committed grandfather list for findings that are sanctioned, with reasons.
+
+The gate is "zero non-baselined findings": a finding is either fixed, or
+it appears here with a *comment* explaining why the pattern is safe (the
+sanitizer's identity-keyed in-process ledgers, the tracer's snapshot-once
+env switch).  Entries match by ``(rule, file)`` -- deliberately not by
+line, so unrelated edits to a grandfathered file do not churn the
+baseline -- and every entry must carry a non-empty comment: an
+unexplained exemption is itself a lint error.
+
+Stale entries (matching nothing anymore) are reported so the baseline
+shrinks monotonically as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import LintError
+from repro.lint.core import Finding
+
+#: Default committed baseline, relative to the working directory (CI and
+#: the test-suite gate both run from the repo root).
+DEFAULT_BASELINE = "LINT_BASELINE.json"
+
+_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class BaselineEntry:
+    """One grandfathered (rule, file) pair and the reason it is safe."""
+
+    rule: str
+    file: str
+    comment: str
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.rule != self.rule:
+            return False
+        path = finding.path.replace(os.sep, "/")
+        return path == self.file or path.endswith("/" + self.file)
+
+    def to_json(self) -> Dict[str, str]:
+        return {"rule": self.rule, "file": self.file, "comment": self.comment}
+
+
+class Baseline:
+    """Load/save/apply the grandfather list."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = sorted(entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                document = json.load(stream)
+        except OSError as error:
+            raise LintError(f"cannot read baseline {path}: {error}") from error
+        except ValueError as error:
+            raise LintError(
+                f"baseline {path} is not valid JSON: {error}"
+            ) from error
+        if not isinstance(document, dict) or document.get("version") != _VERSION:
+            raise LintError(
+                f"baseline {path}: expected a version-{_VERSION} document"
+            )
+        entries = []
+        for index, raw in enumerate(document.get("entries", [])):
+            if not isinstance(raw, dict):
+                raise LintError(f"baseline {path}: entry {index} not an object")
+            missing = [k for k in ("rule", "file", "comment") if not raw.get(k)]
+            if missing:
+                raise LintError(
+                    f"baseline {path}: entry {index} missing {missing}; "
+                    "every grandfathered finding needs a rule, a file and "
+                    "a non-empty comment explaining why it is safe"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    file=str(raw["file"]).replace(os.sep, "/"),
+                    comment=str(raw["comment"]),
+                )
+            )
+        return cls(entries)
+
+    def save(self, path: str) -> None:
+        document = {
+            "version": _VERSION,
+            "entries": [entry.to_json() for entry in sorted(self.entries)],
+        }
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(document, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+
+    def partition(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Split findings into (new, grandfathered); plus stale entries."""
+        new: List[Finding] = []
+        grandfathered: List[Finding] = []
+        hits: Dict[BaselineEntry, int] = {entry: 0 for entry in self.entries}
+        for finding in findings:
+            matched = False
+            for entry in self.entries:
+                if entry.matches(finding):
+                    hits[entry] += 1
+                    matched = True
+                    break
+            (grandfathered if matched else new).append(finding)
+        stale = [entry for entry in self.entries if hits[entry] == 0]
+        return new, grandfathered, stale
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], comment: str
+    ) -> "Baseline":
+        """One entry per distinct (rule, file), all with ``comment``."""
+        pairs = sorted({(f.rule, f.path) for f in findings})
+        return cls(
+            [BaselineEntry(rule=r, file=p, comment=comment) for r, p in pairs]
+        )

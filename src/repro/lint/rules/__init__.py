@@ -1,0 +1,3 @@
+"""Concrete rules; importing the package registers every rule."""
+
+from repro.lint.rules import determinism, discipline  # noqa: F401

@@ -275,7 +275,7 @@ def existing_snapshots(directory: str) -> List[Tuple[int, str]]:
     """Sorted (index, path) pairs of the BENCH_*.json files in a directory."""
     found = []
     try:
-        entries = os.listdir(directory)
+        entries = sorted(os.listdir(directory))
     except FileNotFoundError:
         raise BenchError(f"snapshot directory {directory!r} does not exist")
     for entry in entries:

@@ -310,7 +310,12 @@ def run_partitioned(
     unit_results: Dict[str, object] = {}
     unit_summaries: Dict[str, Dict[str, object]] = {}
     unit_traces: Dict[str, bytes] = {}
-    for output in outputs.values():
+    # Partition order, NOT outputs.values(): the dict fills in worker
+    # *arrival* order, and replaying that interleaving into the merge
+    # would make the combined artifacts scheduling-dependent
+    # (det.dict-merge-order -- the finding that motivated the rule).
+    for p in sorted(outputs):
+        output = outputs[p]
         unit_results.update(output["results"])
         unit_summaries.update(output["sanitizers"])
         unit_traces.update(output["traces"])
@@ -330,8 +335,10 @@ def run_partitioned(
             merger.add(unit_traces[unit])
         merged = merger.merge()
         trace_bytes = merged.to_bytes()
+        # Sum in partition order: float addition is not associative, so
+        # an arrival-order sum would wobble in the last bits run to run.
         overhead_seconds = sum(
-            output["overhead"]["overhead_seconds"] for output in outputs.values()
+            outputs[p]["overhead"]["overhead_seconds"] for p in sorted(outputs)
         )
         per_record_ns = max(
             output["overhead"]["per_record_ns"] for output in outputs.values()

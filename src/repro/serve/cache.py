@@ -76,7 +76,7 @@ class ResultCache:
         """Every known content address (memory plus spill directory)."""
         known = set(self._memory)
         if self.directory is not None:
-            for name in os.listdir(self.directory):
+            for name in sorted(os.listdir(self.directory)):
                 stem, ext = os.path.splitext(name)
                 if ext == ".json" and stem and set(stem) <= _KEY_HEX:
                     known.add(stem)

@@ -1,0 +1,17 @@
+"""Clean twin for det.dict-merge-order: merge in sorted key order."""
+
+
+def combine_shard_outputs(outputs):
+    merged = {}
+    for key in sorted(outputs):  # pure function of the results
+        merged.update(outputs[key])
+    return merged
+
+
+def read_only_scan(outputs):
+    # Iterating .values() without merging is fine: nothing ordered
+    # escapes the loop.
+    total = 0
+    for shard in outputs.values():
+        total += len(shard)
+    return total

@@ -1,0 +1,17 @@
+"""Fault drill for det.dict-merge-order: merging in arrival order."""
+
+
+def combine_shard_outputs(outputs):
+    # `outputs` fills as worker processes finish: insertion order IS the
+    # nondeterministic completion interleaving.
+    merged = {}
+    for shard in outputs.values():  # fires
+        merged.update(shard)
+    return merged
+
+
+def combine_items(outputs):
+    merged = {}
+    for _key, shard in outputs.items():  # fires
+        merged.update(shard["results"])
+    return merged

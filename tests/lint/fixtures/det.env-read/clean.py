@@ -1,0 +1,11 @@
+"""Clean twin for det.env-read: configuration arrives as an argument."""
+
+
+def worker_count(config):
+    # The value travels inside the experiment config, so it is part of
+    # the serve tier's content address and of the run's identity.
+    return config.workers
+
+
+def trace_path(settings):
+    return settings.get("trace_path")

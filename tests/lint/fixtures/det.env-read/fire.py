@@ -1,0 +1,11 @@
+"""Fault drill for det.env-read: ambient environment in a sim path."""
+
+import os
+
+
+def worker_count():
+    return int(os.environ.get("CEDAR_WORKERS", "2"))  # fires
+
+
+def trace_path():
+    return os.getenv("CEDAR_TRACE_PATH")  # fires

@@ -1,0 +1,18 @@
+"""Clean twin for det.fs-order: sorted() at the enumeration source."""
+
+import glob
+import os
+
+
+def snapshot_files(directory):
+    entries = sorted(os.listdir(directory))
+    return [entry for entry in entries if entry.endswith(".json")]
+
+
+def spill_keys(directory):
+    return sorted(glob.glob(f"{directory}/*.json"))
+
+
+def walk_tree(root):
+    for entry in sorted(root.iterdir()):
+        yield entry

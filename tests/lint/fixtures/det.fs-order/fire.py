@@ -1,0 +1,18 @@
+"""Fault drill for det.fs-order: filesystem order reaching a consumer."""
+
+import glob
+import os
+
+
+def snapshot_files(directory):
+    entries = os.listdir(directory)  # fires: unsorted listdir
+    return [entry for entry in entries if entry.endswith(".json")]
+
+
+def spill_keys(directory):
+    return glob.glob(f"{directory}/*.json")  # fires: unsorted glob
+
+
+def walk_tree(root):
+    for entry in root.iterdir():  # fires: unsorted Path.iterdir
+        yield entry

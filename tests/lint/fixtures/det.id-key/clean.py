@@ -1,0 +1,21 @@
+"""Clean twin for det.id-key: stable names and indices as keys."""
+
+
+def sort_by_name(components):
+    return sorted(components, key=lambda c: c.name)
+
+
+def ledger_by_name(queues):
+    table = {}
+    for index, queue in enumerate(queues):
+        table[(queue.name, index)] = queue.depth
+    return table
+
+
+def plain_identity_test(a, b):
+    # Comparing identities without ordering/rendering them is fine.
+    return id(a) == id(b)
+
+
+def rendered(queue):
+    return f"queue {queue.name or '<anonymous>'} overflow"

@@ -1,0 +1,20 @@
+"""Fault drill for det.id-key: process addresses in sensitive positions."""
+
+
+def sort_by_identity(components):
+    return sorted(components, key=lambda c: id(c))  # fires: sort key
+
+
+def ledger_crossing_processes(queues):
+    table = {}
+    for queue in queues:
+        table[id(queue)] = queue.depth  # fires: dict/subscript key
+    return table
+
+
+def literal_key(component):
+    return {hash(component.name): component}  # fires: dict-literal key
+
+
+def rendered(queue):
+    return f"queue@{id(queue):x} overflow"  # fires: rendered into text

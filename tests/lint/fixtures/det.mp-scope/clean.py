@@ -1,0 +1,10 @@
+"""Clean twin for det.mp-scope: route through the sanctioned runner."""
+
+from repro.parallel import parallel_map
+
+
+def fan_out(worker, payloads):
+    # parallel_map merges in key order and surfaces silent worker deaths
+    # as WorkerCrashError -- the audited seam.
+    tasks = [(str(index), payload) for index, payload in enumerate(payloads)]
+    return [result for _key, result in parallel_map(worker, tasks, jobs=4)]

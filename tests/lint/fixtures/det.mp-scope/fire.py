@@ -1,0 +1,8 @@
+"""Fault drill for det.mp-scope: an unaudited fork seam."""
+
+import multiprocessing  # fires: outside the sanctioned runners
+
+
+def fan_out(worker, payloads):
+    with multiprocessing.Pool(4) as pool:
+        return pool.map(worker, payloads)

@@ -1,0 +1,18 @@
+"""Clean twin for det.rng: a seeded generator threaded from config."""
+
+import hashlib
+import random
+
+
+def jitter(delay, rng):
+    # The generator arrives from the experiment config, seeded there;
+    # the seed is part of the run's content address.
+    return delay + rng.randint(0, 3)
+
+
+def build_generator(seed):
+    return random.Random(seed)  # constructing a seeded instance is the fix
+
+
+def job_identifier(experiment, config_bytes):
+    return hashlib.sha256(experiment.encode() + config_bytes).hexdigest()

@@ -1,0 +1,17 @@
+"""Fault drill for det.rng: ambient randomness in a simulation path."""
+
+import os
+import random
+import uuid
+
+
+def jitter(delay):
+    return delay + random.randint(0, 3)  # fires: process-global RNG
+
+
+def job_identifier():
+    return str(uuid.uuid4())  # fires: uuid4
+
+
+def noise_block():
+    return os.urandom(16)  # fires: os.urandom

@@ -1,0 +1,28 @@
+"""Clean twin for det.set-iter: every consumer re-establishes an order."""
+
+
+def render_components(components):
+    parts = []
+    pending = {"memory", "crossbar", "ce"}
+    for name in sorted(pending):  # sorted() restores a total order
+        parts.append(name)
+    return ",".join(parts)
+
+
+def merged_labels(left, right):
+    shared = set(left) & set(right)
+    return ";".join(sorted(shared))
+
+
+def order_insensitive(batch):
+    population = set(batch)
+    if "tail" in population:  # membership: order never observed
+        return len(population)
+    widest = max(population)  # reducers are order-insensitive
+    return sorted(str(item) for item in population)[0] if population else widest
+
+
+def rebound(batch):
+    rows = set(batch)
+    rows = sorted(rows)  # rebinding to the sorted list is the fix
+    return list(rows)

@@ -1,0 +1,26 @@
+"""Fault drill for det.set-iter: set order leaking into ordered sinks."""
+
+
+def render_components(components):
+    parts = []
+    pending = {"memory", "crossbar", "ce"}
+    for name in pending:  # fires: for-loop over a set
+        parts.append(name)
+    return ",".join(parts)
+
+
+def merged_labels(left, right):
+    shared = set(left) & set(right)
+    return ";".join(shared)  # fires: .join() over a set
+
+
+def frozen_order(batch):
+    rows = list(frozenset(batch))  # fires: list() of a set
+    rows.extend({"tail"})  # fires: .extend() of a set literal
+    return [str(item) for item in set(batch)]  # fires: comprehension
+
+
+def annotated(done):
+    seen: set = set()
+    seen.update(done)
+    return tuple(seen)  # fires: tuple() of an annotated set

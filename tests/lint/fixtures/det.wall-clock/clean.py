@@ -1,0 +1,11 @@
+"""Clean twin for det.wall-clock: cycle clock + telemetry timers only."""
+
+import time
+
+
+def measure(engine, run):
+    began = time.perf_counter()  # telemetry: allowed
+    run()
+    wall = time.perf_counter() - began
+    deadline = time.monotonic() + 5.0  # timeouts: allowed
+    return {"cycles": engine.now, "wall_seconds": wall, "deadline": deadline}

@@ -1,0 +1,13 @@
+"""Fault drill for det.wall-clock: host time in a simulation path."""
+
+import time
+from datetime import datetime
+
+
+def stamp_result(result):
+    result["generated_at"] = time.time()  # fires
+    return result
+
+
+def label_run():
+    return datetime.now().isoformat()  # fires

@@ -1,0 +1,20 @@
+"""Clean twin for disc.ambient-snapshot: snapshot once at construction."""
+
+from repro.hardware import sanitize
+from repro.trace.tracer import current_tracer
+
+
+class Queue:
+    def __init__(self, name):
+        self.name = name
+        # Snapshot the ambient context exactly once, at construction;
+        # every event afterwards sees the same sanitizer and tracer.
+        self._checker = sanitize.current()
+        self._tracer = current_tracer()
+
+    def push(self, item):
+        if self._checker is not None:
+            self._checker.note_push(self, item)
+
+    def pop(self):
+        self._tracer.record("pop", queue=self.name)

@@ -1,0 +1,20 @@
+"""Fault drill for disc.ambient-snapshot: per-event ambient reads."""
+
+from repro.hardware import sanitize
+from repro.trace.tracer import current_tracer
+
+
+class Queue:
+    def __init__(self, name):
+        self.name = name
+
+    def push(self, item):
+        # Reading the ambient context per event means two runs of the
+        # same schedule can see different sanitizers mid-flight.
+        checker = sanitize.current()  # fires
+        if checker is not None:
+            checker.note_push(self, item)
+
+    def pop(self):
+        tracer = current_tracer()  # fires
+        tracer.record("pop", queue=self.name)

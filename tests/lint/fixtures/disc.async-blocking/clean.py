@@ -1,0 +1,17 @@
+"""Clean twin for disc.async-blocking: yield or hand off to a thread."""
+
+import asyncio
+import time
+
+
+async def handle_job(request, loop):
+    await asyncio.sleep(0.1)
+    payload = await loop.run_in_executor(None, _load, request.path)
+    return payload
+
+
+def _load(path):
+    # Blocking I/O is fine in a sync helper that runs on the executor.
+    time.sleep(0.01)
+    with open(path) as handle:
+        return handle.read()

@@ -1,0 +1,12 @@
+"""Fault drill for disc.async-blocking: stalls inside the event loop."""
+
+import subprocess
+import time
+
+
+async def handle_job(request):
+    time.sleep(0.1)  # fires: parks the whole event loop
+    with open(request.path) as handle:  # fires: blocking file I/O
+        payload = handle.read()
+    subprocess.run(["sync"])  # fires: blocking subprocess
+    return payload

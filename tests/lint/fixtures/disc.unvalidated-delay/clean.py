@@ -1,0 +1,10 @@
+"""Clean twin for disc.unvalidated-delay: integer cycles only."""
+
+
+def drain(engine, queue, total_cycles, batches):
+    per_batch = total_cycles // batches
+    engine.schedule_after(per_batch, queue.pop)
+
+
+def retry(engine, callback):
+    engine.schedule_after(2, callback)

@@ -1,0 +1,112 @@
+"""Baseline: load/save round trip, validation, partition, staleness."""
+
+import json
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import Baseline, BaselineEntry
+from repro.lint.core import Finding
+
+
+def _finding(path="src/repro/hardware/sanitize.py", rule="det.id-key"):
+    return Finding(path=path, line=3, col=1, rule=rule, message="m")
+
+
+class TestRoundTrip:
+    def test_save_then_load_is_identity(self, tmp_path):
+        entries = [
+            BaselineEntry("det.id-key", "hardware/sanitize.py", "ledger"),
+            BaselineEntry("det.env-read", "trace/tracer.py", "snapshot-once"),
+        ]
+        path = tmp_path / "baseline.json"
+        Baseline(entries).save(str(path))
+        loaded = Baseline.load(str(path))
+        assert loaded.entries == sorted(entries)
+
+    def test_saved_document_is_stable_bytes(self, tmp_path):
+        # The committed baseline must not churn on re-save: sorted
+        # entries, sorted keys, trailing newline.
+        entries = [
+            BaselineEntry("det.id-key", "b.py", "x"),
+            BaselineEntry("det.id-key", "a.py", "x"),
+        ]
+        first, second = tmp_path / "one.json", tmp_path / "two.json"
+        Baseline(entries).save(str(first))
+        Baseline(list(reversed(entries))).save(str(second))
+        assert first.read_bytes() == second.read_bytes()
+        assert first.read_bytes().endswith(b"\n")
+
+
+class TestValidation:
+    def test_missing_comment_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "entries": [{"rule": "det.id-key", "file": "a.py", "comment": ""}],
+        }))
+        with pytest.raises(LintError, match="comment"):
+            Baseline.load(str(path))
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 2, "entries": []}))
+        with pytest.raises(LintError, match="version"):
+            Baseline.load(str(path))
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{nope")
+        with pytest.raises(LintError, match="not valid JSON"):
+            Baseline.load(str(path))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(LintError, match="cannot read"):
+            Baseline.load(str(tmp_path / "absent.json"))
+
+
+class TestPartition:
+    def test_matching_finding_is_grandfathered(self):
+        baseline = Baseline([
+            BaselineEntry("det.id-key", "hardware/sanitize.py", "ledger"),
+        ])
+        new, grandfathered, stale = baseline.partition([_finding()])
+        assert not new and not stale
+        assert grandfathered == [_finding()]
+
+    def test_suffix_match_spans_checkout_prefixes(self):
+        # Entries store repo-relative-ish paths; a finding produced from
+        # an absolute path still matches by suffix.
+        baseline = Baseline([
+            BaselineEntry("det.id-key", "hardware/sanitize.py", "ledger"),
+        ])
+        finding = _finding(path="/ci/checkout/src/repro/hardware/sanitize.py")
+        _, grandfathered, _ = baseline.partition([finding])
+        assert grandfathered == [finding]
+
+    def test_rule_mismatch_stays_new(self):
+        baseline = Baseline([
+            BaselineEntry("det.env-read", "hardware/sanitize.py", "c"),
+        ])
+        new, grandfathered, stale = baseline.partition([_finding()])
+        assert new == [_finding()]
+        assert stale  # the env-read entry matched nothing
+
+    def test_unmatched_entry_reported_stale(self):
+        entry = BaselineEntry("det.rng", "hardware/gone.py", "obsolete")
+        baseline = Baseline([entry])
+        _, _, stale = baseline.partition([])
+        assert stale == [entry]
+
+    def test_from_findings_dedupes_rule_file_pairs(self):
+        findings = [
+            Finding("a.py", 1, 1, "det.rng", "m"),
+            Finding("a.py", 9, 1, "det.rng", "m2"),
+            Finding("b.py", 2, 1, "det.rng", "m"),
+        ]
+        baseline = Baseline.from_findings(findings, "todo")
+        assert [(e.rule, e.file) for e in baseline.entries] == [
+            ("det.rng", "a.py"),
+            ("det.rng", "b.py"),
+        ]
+        assert all(e.comment == "todo" for e in baseline.entries)

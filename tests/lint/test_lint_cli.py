@@ -1,0 +1,174 @@
+"""CLI surface of cedar-repro lint: flags, exit codes, the repo gate."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import Baseline, all_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+RULE_IDS = [rule.id for rule in all_rules()]
+
+DIRTY = "import time\nstamp = time.time()\n"
+CLEAN = "def double(x):\n    return 2 * x\n"
+
+
+class TestExplain:
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_explain_every_rule(self, rule_id, capsys):
+        assert main(["lint", "--explain", rule_id]) == 0
+        out = capsys.readouterr().out
+        rule = next(r for r in all_rules() if r.id == rule_id)
+        assert rule_id in out
+        assert rule.title in out
+        assert f"tests/lint/fixtures/{rule_id}" in out
+
+    def test_explain_all(self, capsys):
+        assert main(["lint", "--explain", "all"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULE_IDS:
+            assert rule_id in out
+
+    def test_explain_unknown_rule_exits_2(self, capsys):
+        assert main(["lint", "--explain", "det.nope"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_0(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN)
+        assert main(["lint", str(tmp_path), "--baseline", "none"]) == 0
+        err = capsys.readouterr().err
+        assert "1 file(s), 0 finding(s)" in err
+
+    def test_finding_exits_1_and_renders(self, tmp_path, capsys):
+        (tmp_path / "sim.py").write_text(DIRTY)
+        assert main(["lint", str(tmp_path), "--baseline", "none"]) == 1
+        captured = capsys.readouterr()
+        assert "det.wall-clock" in captured.out
+        assert "sim.py:2:" in captured.out
+
+    def test_unreadable_path_exits_2(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "absent"), "--baseline", "none"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_syntax_error_exits_2(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        assert main(["lint", str(tmp_path), "--baseline", "none"]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+
+class TestJson:
+    def test_schema(self, tmp_path, capsys):
+        (tmp_path / "sim.py").write_text(DIRTY)
+        assert main(["lint", str(tmp_path), "--json", "--baseline", "none"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == 1
+        assert document["files_checked"] == 1
+        assert document["rules"] == RULE_IDS
+        assert document["summary"]["total"] == document["summary"]["new"] == 1
+        assert document["summary"]["baselined"] == 0
+        assert document["summary"]["suppressed"] == 0
+        assert document["summary"]["stale_baseline"] == []
+        (finding,) = document["findings"]
+        assert set(finding) == {
+            "file", "line", "col", "rule", "message", "baselined",
+        }
+        assert finding["rule"] == "det.wall-clock"
+        assert finding["baselined"] is False
+
+    def test_baselined_finding_flagged_and_exit_0(self, tmp_path, capsys):
+        (tmp_path / "sim.py").write_text(DIRTY)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "entries": [{
+                "rule": "det.wall-clock",
+                "file": "sim.py",
+                "comment": "fixture: sanctioned for this test",
+            }],
+        }))
+        code = main([
+            "lint", str(tmp_path / "sim.py"),
+            "--json", "--baseline", str(baseline),
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["new"] == 0
+        assert document["summary"]["baselined"] == 1
+        assert all(f["baselined"] for f in document["findings"])
+
+
+class TestBaselineFlow:
+    def test_stale_entry_warned_on_stderr(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "entries": [{
+                "rule": "det.rng",
+                "file": "gone.py",
+                "comment": "was fixed long ago",
+            }],
+        }))
+        assert main([
+            "lint", str(tmp_path / "ok.py"), "--baseline", str(baseline),
+        ]) == 0
+        assert "stale baseline entry" in capsys.readouterr().err
+
+    def test_write_baseline_grandfathers_current_findings(
+        self, tmp_path, capsys
+    ):
+        (tmp_path / "sim.py").write_text(DIRTY)
+        out_path = tmp_path / "new-baseline.json"
+        # The run that writes the baseline still reports its findings.
+        assert main([
+            "lint", str(tmp_path / "sim.py"),
+            "--baseline", "none",
+            "--write-baseline", str(out_path),
+        ]) == 1
+        capsys.readouterr()
+        written = Baseline.load(str(out_path))
+        assert [(e.rule, e.file) for e in written.entries] == [
+            ("det.wall-clock", str(tmp_path / "sim.py").replace("\\", "/")),
+        ]
+        assert "TODO" in written.entries[0].comment
+        # Linting against the written baseline now passes.
+        assert main([
+            "lint", str(tmp_path / "sim.py"), "--baseline", str(out_path),
+        ]) == 0
+
+
+class TestSelfCheck:
+    def test_self_check_passes_on_committed_fixtures(self, capsys):
+        assert main([
+            "lint", "--self-check", "--fixtures", str(FIXTURES),
+        ]) == 0
+        assert "all" in capsys.readouterr().out
+
+    def test_self_check_fails_on_empty_fixture_dir(self, tmp_path, capsys):
+        assert main([
+            "lint", "--self-check", "--fixtures", str(tmp_path),
+        ]) == 1
+        assert "missing fixture" in capsys.readouterr().err
+
+
+class TestRepoGate:
+    """The tree itself must lint clean against the committed baseline."""
+
+    def test_src_lints_clean(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", "src", "--baseline", "LINT_BASELINE.json"]) == 0
+        err = capsys.readouterr().err
+        assert ", 0 finding(s)" in err
+        assert "stale baseline entry" not in err
+
+    def test_committed_baseline_entries_all_commented(self):
+        baseline = Baseline.load(str(REPO_ROOT / "LINT_BASELINE.json"))
+        for entry in baseline.entries:
+            # Baseline.load enforces non-empty; demand a real sentence.
+            assert len(entry.comment) > 20, entry

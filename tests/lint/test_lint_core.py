@@ -1,0 +1,202 @@
+"""Tests for the lint framework: suppressions, scoping, collection."""
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (
+    UNKNOWN_RULE_ID,
+    all_rules,
+    analyze_source,
+    collect_files,
+    get_rule,
+)
+from repro.lint.core import Finding, Rule, repro_relative
+
+
+WALL_CLOCK = "import time\nstamp = time.time()\n"
+
+
+class TestFinding:
+    def test_render_format(self):
+        finding = Finding(
+            path="src/repro/hardware/engine.py",
+            line=12,
+            col=5,
+            rule="det.wall-clock",
+            message="host time in a sim path",
+        )
+        assert finding.render() == (
+            "src/repro/hardware/engine.py:12:5: det.wall-clock "
+            "host time in a sim path"
+        )
+
+    def test_json_carries_baselined_flag(self):
+        finding = Finding("a.py", 1, 1, "det.rng", "m")
+        assert finding.to_json(baselined=True)["baselined"] is True
+        assert finding.to_json()["baselined"] is False
+
+    def test_findings_sort_by_path_then_line(self):
+        later = Finding("b.py", 1, 1, "det.rng", "m")
+        early = Finding("a.py", 9, 1, "det.rng", "m")
+        assert sorted([later, early]) == [early, later]
+
+
+class TestNoqa:
+    def test_exact_rule_id_suppresses(self):
+        source = "import time\nstamp = time.time()  # cedar: noqa[det.wall-clock]\n"
+        report = analyze_source(source, "scratch.py")
+        assert not [f for f in report.findings if f.rule == "det.wall-clock"]
+        assert [f for f in report.suppressed if f.rule == "det.wall-clock"]
+
+    def test_other_rule_id_does_not_suppress(self):
+        source = "import time\nstamp = time.time()  # cedar: noqa[det.rng]\n"
+        report = analyze_source(source, "scratch.py")
+        assert [f for f in report.findings if f.rule == "det.wall-clock"]
+
+    def test_multi_rule_brackets(self):
+        source = (
+            "import time, random\n"
+            "stamp = time.time() + random.random()"
+            "  # cedar: noqa[det.wall-clock, det.rng]\n"
+        )
+        report = analyze_source(source, "scratch.py")
+        assert not report.findings
+        suppressed = {f.rule for f in report.suppressed}
+        assert suppressed == {"det.wall-clock", "det.rng"}
+
+    def test_bare_noqa_suppresses_everything_on_the_line(self):
+        source = (
+            "import time, random\n"
+            "stamp = time.time() + random.random()  # cedar: noqa\n"
+        )
+        report = analyze_source(source, "scratch.py")
+        assert not report.findings
+        assert len(report.suppressed) == 2
+
+    def test_unknown_rule_id_is_itself_a_finding(self):
+        source = "import time\nstamp = time.time()  # cedar: noqa[det.wallclock]\n"
+        report = analyze_source(source, "scratch.py")
+        rules = {f.rule for f in report.findings}
+        # The typo'd suppression disarms nothing AND gets reported.
+        assert "det.wall-clock" in rules
+        assert UNKNOWN_RULE_ID in rules
+        unknown = [f for f in report.findings if f.rule == UNKNOWN_RULE_ID][0]
+        assert "det.wallclock" in unknown.message
+
+    def test_unknown_rule_not_reported_on_single_rule_pass(self):
+        source = "import time\nstamp = time.time()  # cedar: noqa[det.bogus]\n"
+        rule = get_rule("det.wall-clock")
+        report = analyze_source(source, "scratch.py", rules=[rule])
+        assert {f.rule for f in report.findings} == {"det.wall-clock"}
+
+    def test_noqa_inside_string_literal_does_not_suppress(self):
+        source = (
+            "import time\n"
+            'LABEL = "stamp  # cedar: noqa[det.wall-clock]"\n'
+            "stamp = time.time()\n"
+        )
+        report = analyze_source(source, "scratch.py")
+        assert [f for f in report.findings if f.rule == "det.wall-clock"]
+
+
+class TestScope:
+    def test_repro_relative(self):
+        assert repro_relative("src/repro/hardware/engine.py") == (
+            "hardware/engine.py"
+        )
+        assert repro_relative("tests/lint/fixtures/det.rng/fire.py") is None
+
+    def test_rule_scope_excludes_model_package(self):
+        # The analytic model package is outside SIM_SCOPE: it computes
+        # closed-form numbers, not event schedules.
+        report = analyze_source(WALL_CLOCK, "src/repro/model/speedup.py")
+        assert not [f for f in report.findings if f.rule == "det.wall-clock"]
+
+    def test_rule_scope_includes_hardware_package(self):
+        report = analyze_source(WALL_CLOCK, "src/repro/hardware/clock.py")
+        assert [f for f in report.findings if f.rule == "det.wall-clock"]
+
+    def test_exempt_file_is_skipped(self):
+        source = (
+            "from repro.hardware import sanitize\n"
+            "class Q:\n"
+            "    def push(self, item):\n"
+            "        return sanitize.current()\n"
+        )
+        # hardware/sanitize.py is the ambient-context implementation; it
+        # is exempt from the snapshot rule.  Any other hardware file is not.
+        report = analyze_source(source, "src/repro/hardware/sanitize.py")
+        assert not [
+            f for f in report.findings if f.rule == "disc.ambient-snapshot"
+        ]
+        report = analyze_source(source, "src/repro/hardware/clock.py")
+        assert [f for f in report.findings if f.rule == "disc.ambient-snapshot"]
+
+    def test_config_module_is_outside_sim_scope(self):
+        source = "import os\nflag = os.environ.get('CEDAR_X')\n"
+        report = analyze_source(source, "src/repro/config.py")
+        assert not [f for f in report.findings if f.rule == "det.env-read"]
+        report = analyze_source(source, "src/repro/hardware/clock.py")
+        assert [f for f in report.findings if f.rule == "det.env-read"]
+
+    def test_paths_outside_repro_get_every_rule(self):
+        report = analyze_source(WALL_CLOCK, "scratch/tool.py")
+        assert [f for f in report.findings if f.rule == "det.wall-clock"]
+
+    def test_respect_scope_false_overrides(self):
+        report = analyze_source(
+            WALL_CLOCK, "src/repro/model/speedup.py", respect_scope=False
+        )
+        assert [f for f in report.findings if f.rule == "det.wall-clock"]
+
+
+class TestRegistry:
+    def test_rules_are_sorted_by_id(self):
+        ids = [rule.id for rule in all_rules()]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+
+    def test_every_rule_has_metadata(self):
+        for rule in all_rules():
+            assert rule.id and rule.title and rule.rationale
+            assert rule.scope
+
+    def test_get_rule_unknown_raises(self):
+        with pytest.raises(LintError, match="unknown rule"):
+            get_rule("det.nope")
+
+
+class TestDrivers:
+    def test_syntax_error_raises_lint_error(self):
+        with pytest.raises(LintError, match="cannot parse"):
+            analyze_source("def broken(:\n", "bad.py")
+
+    def test_collect_files_sorted_and_skips_pycache(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "note.txt").write_text("not python\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-311.pyc").write_text("")
+        (cache / "ghost.py").write_text("x = 1\n")
+        hidden = tmp_path / ".hidden"
+        hidden.mkdir()
+        (hidden / "c.py").write_text("x = 1\n")
+        found = collect_files([str(tmp_path)])
+        names = [path.rsplit("/", 1)[-1] for path in found]
+        assert names == ["a.py", "b.py"]
+
+    def test_collect_files_missing_path_raises(self, tmp_path):
+        with pytest.raises(LintError, match="no such file"):
+            collect_files([str(tmp_path / "nope")])
+
+    def test_default_rule_scope_is_sim_scope(self):
+        class Probe(Rule):
+            id = "probe.example"
+            title = "probe"
+            rationale = "probe"
+
+            def check(self, ctx):
+                return iter(())
+
+        assert "hardware" in Probe.scope and "serve" in Probe.scope
