@@ -1,0 +1,40 @@
+"""Design-space exploration with the machine builder in ~40 lines.
+
+Sweeps memory-system structure around the paper's Cedar -- module count,
+interleave granularity, and network port-queue depth -- through the
+deterministic stream workload, then prints the Pareto front over
+delivered MFLOPS, speedup, and network conflicts.  The same sweep is
+available from the command line::
+
+    cedar-repro sweep --axis memory_modules=16,32,64 \\
+                      --axis interleave_words=1,4 \\
+                      --axis port_queue_words=2,8 --report
+
+Run:  python examples/design_space_sweep.py          (a few seconds)
+"""
+
+from repro.builder import CEDAR_SPEC, describe, expand_grid, render_report, run_sweep
+
+
+def sweep_memory_system() -> None:
+    print("Sweeping the memory system around the paper's machine:\n")
+    print(describe(CEDAR_SPEC))
+    print()
+    grid = expand_grid(
+        {
+            "memory_modules": [16, 32, 64],
+            "interleave_words": [1, 4],
+            "port_queue_words": [2, 8],
+        }
+    )
+    artifact = run_sweep(grid, jobs=2)
+    print(render_report(artifact))
+    print(
+        "\n-> doubling the modules buys more than deepening the queues: "
+        "contention on Cedar is module-side, as Table 2's interarrival "
+        "growth already hinted."
+    )
+
+
+if __name__ == "__main__":
+    sweep_memory_system()

@@ -4,7 +4,8 @@ methodology in ~60 lines.
 Run:  python examples/quickstart.py
 """
 
-from repro import CedarMachine, classify_speedup
+from repro import classify_speedup
+from repro.builder import CEDAR_SPEC, build
 from repro.hardware.ce import ArmFirePrefetch, AwaitPrefetch, ConsumePrefetch
 from repro.perfect.suite import run_code
 from repro.perfect.versions import Version
@@ -12,7 +13,7 @@ from repro.perfect.versions import Version
 
 def prefetch_roundtrip() -> None:
     """Fire one 32-word prefetch on one CE and read the monitor."""
-    machine = CedarMachine()
+    machine = build(CEDAR_SPEC)  # the paper's machine, from its spec
 
     def kernel(ce):
         handle = yield ArmFirePrefetch(length=32, stride=1, start_address=4096)
@@ -27,7 +28,7 @@ def prefetch_roundtrip() -> None:
 
 def contention() -> None:
     """The same stream from all 32 CEs: contention raises both metrics."""
-    machine = CedarMachine()
+    machine = build(CEDAR_SPEC)
 
     def kernel(ce):
         base = ce.global_port * 1_048_579

@@ -1,0 +1,95 @@
+"""Elaborate a :class:`~repro.builder.spec.MachineSpec` into hardware.
+
+``build_config`` maps the spec's structural knobs onto the existing
+:class:`~repro.config.CedarConfig` by *replacing* fields of the paper's
+defaults -- every non-structural parameter (vector timings, cache
+geometry, sync costs) is inherited unchanged, and the default spec
+reproduces ``DEFAULT_CONFIG`` exactly (dataclass equality, which the
+golden tests assert).  ``build`` then hands that config to the untouched
+:class:`~repro.hardware.machine.CedarMachine` constructor, so an
+elaborated machine *is* the machine the paper's experiments run on --
+there is no second construction path to drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.config import DEFAULT_CONFIG, WORD_BYTES, CedarConfig
+from repro.builder.spec import MachineSpec
+from repro.hardware.machine import CedarMachine
+from repro.trace import Tracer
+
+
+def build_config(spec: MachineSpec) -> CedarConfig:
+    """The :class:`CedarConfig` a spec describes.
+
+    Built by replacement from :data:`DEFAULT_CONFIG` so that
+    ``build_config(CEDAR_SPEC) == DEFAULT_CONFIG`` holds structurally.
+    """
+    base = DEFAULT_CONFIG
+    network = replace(
+        base.network,
+        switch_radix=spec.switch_radix,
+        port_queue_words=spec.port_queue_words,
+    )
+    # Memory capacity scales with the module count so per-module size is
+    # invariant across the sweep; sync_processors passes through (None =
+    # every module, the machine as built).
+    per_module_bytes = (
+        base.global_memory.size_bytes // base.global_memory.num_modules
+    )
+    global_memory = replace(
+        base.global_memory,
+        size_bytes=per_module_bytes * spec.memory_modules,
+        num_modules=spec.memory_modules,
+        interleave_bytes=spec.interleave_words * WORD_BYTES,
+        sync_processors=spec.sync_processors,
+    )
+    # The PFU never issues more requests than its buffer can hold.
+    prefetch = replace(
+        base.prefetch,
+        buffer_words=spec.prefetch_buffer_words,
+        max_outstanding=spec.prefetch_buffer_words,
+    )
+    return replace(
+        base,
+        num_clusters=spec.clusters,
+        ces_per_cluster=spec.ces_per_cluster,
+        network=network,
+        global_memory=global_memory,
+        prefetch=prefetch,
+    )
+
+
+def build(spec: MachineSpec, tracer: Optional[Tracer] = None) -> CedarMachine:
+    """Elaborate ``spec`` into a ready-to-run :class:`CedarMachine`.
+
+    The machine remembers its spec (``machine.spec``) so reports can name
+    the design point an artifact came from.
+    """
+    machine = CedarMachine(build_config(spec), tracer=tracer)
+    machine.spec = spec
+    return machine
+
+
+def describe(spec: MachineSpec) -> str:
+    """A deterministic human-readable summary of one design point."""
+    sync = spec.sync_processor_count
+    sync_text = (
+        "all modules" if sync == spec.memory_modules else f"first {sync} modules"
+    )
+    lines = [
+        f"machine: {spec.clusters} clusters x {spec.ces_per_cluster} CEs "
+        f"= {spec.num_ces} CEs",
+        f"network: {spec.stage_count} stages of "
+        f"{spec.switch_radix}x{spec.switch_radix} crossbars, "
+        f"{spec.port_queue_words}-word port queues, "
+        f"{spec.routing_tag_bits}-bit routing tags",
+        f"memory:  {spec.memory_modules} modules, "
+        f"{spec.interleave_words}-word interleave, "
+        f"sync processors on {sync_text}",
+        f"prefetch: {spec.prefetch_buffer_words}-word buffers per CE",
+    ]
+    return "\n".join(lines)

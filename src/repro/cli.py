@@ -21,6 +21,11 @@ Usage::
                                      # simulation); stdout, --trace-out and
                                      # sanitizer output are byte-identical
                                      # for any partition count
+    cedar-repro sweep --axis memory_modules=16,32 --axis port_queue_words=2,4
+                                     # design-space sweep: run the spec grid
+                                     # through the probe workload, emit a
+                                     # Pareto-annotated artifact that is
+                                     # byte-identical for any --jobs N
     cedar-repro trace table2 --out trace.json --report
                                      # same artifact, plus machine-wide
                                      # instrumentation (Chrome trace JSON
@@ -154,6 +159,56 @@ def _build_parser() -> argparse.ArgumentParser:
         default=15,
         metavar="N",
         help="how many functions --profile reports (default 15)",
+    )
+    sweep = sub.add_parser(
+        "sweep",
+        help="design-space sweep: run a grid of machine specs through the "
+        "deterministic probe workload and extract the Pareto front "
+        "(MFLOPS / speedup / network conflicts)",
+    )
+    sweep.add_argument(
+        "--axis",
+        action="append",
+        default=None,
+        metavar="FIELD=V1,V2,...",
+        help="sweep one MachineSpec field over comma-separated values "
+        "(repeatable; the grid is the cartesian product, first axis "
+        "slowest); e.g. --axis memory_modules=16,32",
+    )
+    sweep.add_argument(
+        "--points",
+        metavar="FILE",
+        default=None,
+        help="JSON file holding a list of spec objects to run instead of "
+        "(or in addition to) the --axis grid",
+    )
+    sweep.add_argument(
+        "--blocks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="prefetched blocks each CE streams per measurement "
+        "(default: the workload's steady-state setting)",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run sweep points in N worker processes (the artifact is "
+        "byte-identical for any N)",
+    )
+    sweep.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the sweep artifact JSON to FILE (default: stdout)",
+    )
+    sweep.add_argument(
+        "--report",
+        action="store_true",
+        help="print the human-readable sweep table (replaces the JSON on "
+        "stdout unless --out is given)",
     )
     trace = sub.add_parser(
         "trace", help="run one experiment with machine-wide instrumentation"
@@ -762,6 +817,81 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_axis(text: str) -> Tuple[str, List[object]]:
+    """``FIELD=V1,V2,...`` -> (field, values); values parse as JSON scalars
+    (so ``null`` means None and bare words stay strings for the spec
+    validator to reject with a structured error)."""
+    field, separator, values_text = text.partition("=")
+    if not separator or not field or not values_text:
+        raise ValueError(
+            f"--axis wants FIELD=V1,V2,... (got {text!r})"
+        )
+    values: List[object] = []
+    for item in values_text.split(","):
+        try:
+            values.append(json.loads(item))
+        except json.JSONDecodeError:
+            values.append(item)
+    return field, values
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.builder import expand_grid, render_report, run_sweep
+    from repro.builder.sweep import canonical_json
+    from repro.builder.workload import DEFAULT_BLOCKS
+
+    axes: Dict[str, List[object]] = {}
+    for text in args.axis or []:
+        try:
+            field, values = _parse_axis(text)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        axes[field] = values
+    candidates: List[Dict[str, object]] = expand_grid(axes)
+    if args.points:
+        try:
+            with open(args.points, "r", encoding="utf-8") as stream:
+                listed = json.load(stream)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"cannot read {args.points}: {error}", file=sys.stderr)
+            return 2
+        if not isinstance(listed, list):
+            print(
+                f"{args.points} must hold a JSON list of spec objects",
+                file=sys.stderr,
+            )
+            return 2
+        candidates.extend(listed)
+    if not candidates:
+        print(
+            "nothing to sweep: give at least one --axis FIELD=V1,V2,... "
+            "or a --points file",
+            file=sys.stderr,
+        )
+        return 2
+    blocks = args.blocks if args.blocks is not None else DEFAULT_BLOCKS
+    started = time.time()
+    artifact = run_sweep(candidates, jobs=args.jobs, blocks=blocks)
+    elapsed = time.time() - started
+    # Wall-clock telemetry never enters the canonical artifact.
+    print(
+        f"swept {len(candidates)} point(s) in {elapsed:.1f}s "
+        f"(--jobs {args.jobs})",
+        file=sys.stderr,
+    )
+    document = canonical_json(artifact)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            stream.write(document)
+        print(f"wrote sweep artifact to {args.out}", file=sys.stderr)
+    if args.report:
+        print(render_report(artifact))
+    elif not args.out:
+        sys.stdout.write(document)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.experiment not in EXPERIMENTS:
         return _unknown_experiment(args.experiment)
@@ -1063,6 +1193,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "bench":

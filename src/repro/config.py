@@ -13,12 +13,29 @@ bytes or 64-bit words as named.
 
 from __future__ import annotations
 
-import math
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Optional
 
 
 #: CE instruction cycle time in seconds (170 ns, Section 2).
 CE_CYCLE_SECONDS = 170e-9
+
+
+def network_stages_for(ports: int, radix: int) -> int:
+    """Stages of radix-``radix`` switches needed to connect ``ports`` lines.
+
+    The single definition shared by :class:`CedarConfig`, the
+    :class:`~repro.hardware.network.OmegaNetwork` constructor and the
+    machine builder's routing-tag derivation -- an integer loop rather
+    than ``ceil(log(ports, radix))`` so the three can never disagree on a
+    float boundary (``log(64, 8)`` is not reliably ``2.0``).
+    """
+    stages, lines = 1, radix
+    while lines < ports:
+        lines *= radix
+        stages += 1
+    return stages
 
 #: Peak 64-bit vector performance of a single CE in MFLOPS (Section 2).
 CE_PEAK_MFLOPS = 11.8
@@ -126,6 +143,24 @@ class GlobalMemoryConfig:
     #: and the rest CE<->prefetch-buffer movement.
     ce_buffer_cycles: int = 5
     interleave_bytes: int = 8
+    #: Memory modules carrying a synchronization processor (the first N
+    #: modules); ``None`` means every module has one, the machine as
+    #: built.  Exposed as a machine-builder knob so design-space sweeps
+    #: can ask what a cheaper memory system costs the sync-heavy loops.
+    sync_processors: Optional[int] = None
+
+    @property
+    def sync_processor_count(self) -> int:
+        """Modules with a synchronization processor (defaults to all)."""
+        if self.sync_processors is None:
+            return self.num_modules
+        return self.sync_processors
+
+    @property
+    def interleave_words(self) -> int:
+        """Consecutive 64-bit words served by one module before the
+        interleave advances to the next (1 = double-word interleave)."""
+        return max(1, self.interleave_bytes // WORD_BYTES)
 
 
 @dataclass(frozen=True)
@@ -234,7 +269,7 @@ class CedarConfig:
     def network_stages(self) -> int:
         """Stages of 8x8 switches needed to connect CEs to memory modules."""
         ports = max(self.num_ces, self.global_memory.num_modules)
-        return max(1, math.ceil(math.log(ports, self.network.switch_radix)))
+        return network_stages_for(ports, self.network.switch_radix)
 
     def with_clusters(self, num_clusters: int) -> "CedarConfig":
         """Return a copy of this configuration with a different cluster count."""
@@ -253,3 +288,40 @@ class CedarConfig:
 
 #: The Cedar machine as described in the paper.
 DEFAULT_CONFIG = CedarConfig()
+
+
+# ---------------------------------------------------------------------------
+# Ambient machine configuration.
+#
+# Experiment drivers and kernel harnesses default their ``config``
+# parameter to "the active configuration" rather than binding
+# ``DEFAULT_CONFIG`` at def time.  :func:`overriding` installs a different
+# machine for a block -- how a serve job or a test runs the paper's
+# experiments on a machine elaborated from a :class:`~repro.builder
+# .MachineSpec` without threading a config through every call site.
+# Worker processes forked inside the block (``--jobs``/``--partitions``)
+# inherit the override, so sharded artifacts stay byte-identical.
+# ---------------------------------------------------------------------------
+
+_ACTIVE_CONFIGS: List[CedarConfig] = []
+
+
+def active_config() -> CedarConfig:
+    """The machine configuration call sites should default to.
+
+    The innermost :func:`overriding` block wins; otherwise the paper's
+    :data:`DEFAULT_CONFIG`.
+    """
+    if _ACTIVE_CONFIGS:
+        return _ACTIVE_CONFIGS[-1]
+    return DEFAULT_CONFIG
+
+
+@contextmanager
+def overriding(config: CedarConfig) -> Iterator[CedarConfig]:
+    """Install ``config`` as the ambient machine for the block."""
+    _ACTIVE_CONFIGS.append(config)
+    try:
+        yield config
+    finally:
+        _ACTIVE_CONFIGS.pop()

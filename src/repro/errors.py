@@ -11,6 +11,25 @@ class ConfigurationError(CedarError):
     """A machine or workload configuration is inconsistent."""
 
 
+class SpecError(ConfigurationError):
+    """A declarative :class:`~repro.builder.MachineSpec` is invalid.
+
+    Structured so tooling (the sweep runner, the serve schema validator,
+    tests) can triage without parsing the message: ``field`` names the
+    spec field that failed validation -- a declared field
+    (``memory_interleave_bytes``) or a derived quantity
+    (``routing_tag_bits``) -- and ``value`` carries the offending value.
+    """
+
+    def __init__(self, field: str, message: str, value=None) -> None:
+        self.field = field
+        self.value = value
+        text = f"spec field {field!r}: {message}"
+        if value is not None:
+            text += f" (got {value!r})"
+        super().__init__(text)
+
+
 class SimulationError(CedarError):
     """The discrete-event simulator reached an invalid state."""
 

@@ -19,10 +19,10 @@ prefetched) code, as in an algorithm-level scalability study.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.cm5 import CM5Model
-from repro.config import CedarConfig, DEFAULT_CONFIG
+from repro.config import CedarConfig
 from repro.core.bands import Band
 from repro.core.ppt import PPT4Result, ScalabilityPoint, evaluate_ppt4
 from repro.core.report import format_table
@@ -59,7 +59,7 @@ def units() -> List[str]:
     return names
 
 
-def run_unit(unit: str, config: CedarConfig = DEFAULT_CONFIG) -> float:
+def run_unit(unit: str, config: Optional[CedarConfig] = None) -> float:
     """One CG timing run (cycles) for a serial baseline or a (P, N) point."""
     parts = unit.split(":")
     if parts[0] == "serial":
@@ -91,7 +91,7 @@ def _cedar_points_from_cycles(
 
 
 def cedar_cg_points(
-    config: CedarConfig = DEFAULT_CONFIG,
+    config: Optional[CedarConfig] = None,
 ) -> List[ScalabilityPoint]:
     """CG rate/efficiency across (P, N) on the cycle simulator."""
     serial_cycles = {
@@ -145,7 +145,7 @@ def combine(results: Dict[str, float]) -> PPT4Study:
     )
 
 
-def run(config: CedarConfig = DEFAULT_CONFIG) -> PPT4Study:
+def run(config: Optional[CedarConfig] = None) -> PPT4Study:
     return _study_from_points(cedar_cg_points(config))
 
 

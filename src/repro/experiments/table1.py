@@ -7,9 +7,9 @@ four clusters, regenerated on the cycle-level simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.config import CedarConfig, DEFAULT_CONFIG
+from repro.config import CedarConfig
 from repro.core.report import format_table
 from repro.kernels.rank_update import RankUpdateVersion, measure_rank_update
 from repro.metrics.headline import HeadlineMetric, slugify
@@ -48,7 +48,7 @@ def units() -> List[str]:
     ]
 
 
-def run_unit(unit: str, config: CedarConfig = DEFAULT_CONFIG) -> float:
+def run_unit(unit: str, config: Optional[CedarConfig] = None) -> float:
     """Measure one Table 1 cell's MFLOPS (an independent simulator run)."""
     version_name, clusters_text = unit.split(":")
     version = RankUpdateVersion[version_name]
@@ -66,7 +66,7 @@ def combine(results: Dict[str, float]) -> Table1Result:
     return Table1Result(mflops=measured)
 
 
-def run(config: CedarConfig = DEFAULT_CONFIG) -> Table1Result:
+def run(config: Optional[CedarConfig] = None) -> Table1Result:
     """Regenerate every cell of Table 1 on the simulator."""
     return combine({unit: run_unit(unit, config) for unit in units()})
 

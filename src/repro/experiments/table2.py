@@ -12,9 +12,9 @@ register-register operations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.config import CedarConfig, DEFAULT_CONFIG
+from repro.config import CedarConfig, active_config
 from repro.core.report import format_table
 from repro.kernels.common import KernelRun
 from repro.kernels.conjugate_gradient import measure_cg
@@ -72,8 +72,10 @@ def units() -> List[str]:
     return [f"{name}:{count}" for name in KERNELS for count in CE_COUNTS]
 
 
-def run_unit(unit: str, config: CedarConfig = DEFAULT_CONFIG) -> Table2Cell:
+def run_unit(unit: str, config: Optional[CedarConfig] = None) -> Table2Cell:
     """Measure one Table 2 cell (an independent simulator run)."""
+    if config is None:
+        config = active_config()
     name, count_text = unit.split(":")
     result = KERNELS[name](int(count_text), config)
     if result.first_word_latency is None:
@@ -93,7 +95,7 @@ def combine(results: Dict[str, Table2Cell]) -> Table2Result:
     return Table2Result(cells=cells)
 
 
-def run(config: CedarConfig = DEFAULT_CONFIG) -> Table2Result:
+def run(config: Optional[CedarConfig] = None) -> Table2Result:
     return combine({unit: run_unit(unit, config) for unit in units()})
 
 

@@ -9,6 +9,7 @@ from repro.hardware.cache import ClusterCache
 from repro.hardware.ccb import BodyFactory, ConcurrencyControlBus
 from repro.hardware.ce import ComputationalElement, KernelFactory
 from repro.hardware.engine import Engine
+from repro.hardware.memory import module_for_address
 from repro.hardware.network import OmegaNetwork
 
 
@@ -37,6 +38,11 @@ class Cluster:
             engine, config.cache, config.cluster_memory, name=f"cl{index}.cache",
             tracer=tracer,
         )
+        # Address steering shares memory.module_for_address so the CE-side
+        # port choice and the module-side ownership can never disagree,
+        # whatever interleave a builder spec declares.
+        num_modules = config.global_memory.num_modules
+        interleave_words = config.global_memory.interleave_words
         self.ces: List[ComputationalElement] = [
             ComputationalElement(
                 engine=engine,
@@ -45,7 +51,9 @@ class Cluster:
                 forward=forward,
                 reverse=reverse,
                 cache=self.cache,
-                memory_port_of=lambda a: a % config.global_memory.num_modules,
+                memory_port_of=lambda a: module_for_address(
+                    a, num_modules, interleave_words
+                ),
                 monitor=monitor,
                 cluster_index=index,
                 index_in_cluster=ce,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
-from repro.config import CE_CYCLE_SECONDS, CedarConfig, DEFAULT_CONFIG
+from repro.config import CE_CYCLE_SECONDS, CedarConfig, active_config
 from repro.errors import SimulationError
 from repro.hardware import sanitize
 from repro.hardware.ce import ComputationalElement, KernelFactory
@@ -47,12 +47,17 @@ class CedarMachine:
 
     def __init__(
         self,
-        config: CedarConfig = DEFAULT_CONFIG,
+        config: Optional[CedarConfig] = None,
         tracer: Optional[Tracer] = None,
         request_delivery: Optional[object] = None,
         reply_delivery: Optional[object] = None,
     ) -> None:
         """Assemble the machine, optionally re-routing the delivery seams.
+
+        ``config`` defaults to the *ambient* configuration
+        (:func:`repro.config.active_config`): the paper's machine unless a
+        :func:`repro.config.overriding` block -- e.g. a serve job carrying
+        a builder ``spec`` -- installed another shape.
 
         ``request_delivery`` replaces the forward network as what the
         memory modules pull requests from, and ``reply_delivery`` replaces
@@ -63,7 +68,13 @@ class CedarMachine:
         the only coupling the endpoints have is ``delivery_queue(port)``
         and ``attach_sink(port, handler)``, which the channels duck-type.
         """
+        if config is None:
+            config = active_config()
         self.config = config
+        #: The declarative spec this machine was elaborated from, when it
+        #: came through :func:`repro.builder.build` (None for machines
+        #: constructed directly from a config).
+        self.spec = None
         self.engine = Engine()
         # Invariant sanitizer: the ambient one (see `sanitizing()` /
         # CEDAR_SANITIZE), adopted before any component is built so every

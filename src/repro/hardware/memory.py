@@ -25,9 +25,18 @@ from repro.hardware.sync_processor import SyncProcessor
 _KIND_NAMES = {kind: kind.name.lower() for kind in PacketKind}
 
 
-def module_for_address(address: int, num_modules: int) -> int:
-    """Module serving a word address (double-word interleave)."""
-    return address % num_modules
+def module_for_address(
+    address: int, num_modules: int, interleave_words: int = 1
+) -> int:
+    """Module serving a word address.
+
+    ``interleave_words`` consecutive words live on one module before the
+    interleave advances (1 = the paper's double-word interleave; the
+    machine builder exposes coarser interleaves as a design knob).
+    """
+    if interleave_words == 1:
+        return address % num_modules
+    return (address // interleave_words) % num_modules
 
 
 class MemoryModule:
@@ -43,6 +52,7 @@ class MemoryModule:
         reverse: OmegaNetwork,
         sync_handler: Optional[Callable[[Packet, SyncProcessor], object]] = None,
         tracer=None,
+        has_sync: bool = True,
     ) -> None:
         self.engine = engine
         self.index = index
@@ -60,7 +70,12 @@ class MemoryModule:
         #: Lazily bound counter slots (-1 until the first bump).
         self._slot_served = -1
         self._slot_busy = -1
-        self.sync = SyncProcessor(tracer=tracer)
+        # The synchronization processor rides on the module (Section 2);
+        # builder specs may equip only the first N modules, in which case
+        # a SYNC packet reaching a bare module is a routing/spec error.
+        self.sync: Optional[SyncProcessor] = (
+            SyncProcessor(tracer=tracer) if has_sync else None
+        )
         self._sync_handler = sync_handler
         self._sanitizer = sanitize.current()
         if self._sanitizer is not None:
@@ -139,6 +154,13 @@ class MemoryModule:
             # ordered, so no acknowledgement packet is modelled.
             return None
         if request.kind is PacketKind.SYNC_REQUEST:
+            if self.sync is None:
+                raise SimulationError(
+                    f"module {self.index} has no synchronization processor "
+                    f"(spec equips {self.config.sync_processor_count} of "
+                    f"{self.config.num_modules} modules); SYNC request for "
+                    f"address {request.address}"
+                )
             outcome = None
             if self._sync_handler is not None:
                 outcome = self._sync_handler(request, self.sync)
@@ -180,6 +202,7 @@ class GlobalMemory:
         tracer=None,
     ) -> None:
         self.config = config
+        sync_count = config.sync_processor_count
         self.modules = [
             MemoryModule(
                 engine=engine,
@@ -190,12 +213,17 @@ class GlobalMemory:
                 reverse=reverse,
                 sync_handler=sync_handler,
                 tracer=tracer,
+                has_sync=i < sync_count,
             )
             for i in range(config.num_modules)
         ]
 
     def module_for(self, address: int) -> MemoryModule:
-        return self.modules[module_for_address(address, self.config.num_modules)]
+        return self.modules[
+            module_for_address(
+                address, self.config.num_modules, self.config.interleave_words
+            )
+        ]
 
     @property
     def total_requests_served(self) -> int:

@@ -20,7 +20,7 @@ from __future__ import annotations
 from functools import partial
 from typing import Callable, Dict, List, Optional
 
-from repro.config import NetworkConfig
+from repro.config import NetworkConfig, network_stages_for
 from repro.errors import ConfigurationError
 from repro.hardware import sanitize
 from repro.hardware.engine import Engine
@@ -68,12 +68,10 @@ class OmegaNetwork:
         self._slot_words = -1
         self._injections = 0
         self.radix = config.switch_radix
-        self.num_stages = 1
-        lines = self.radix
-        while lines < num_ports:
-            lines *= self.radix
-            self.num_stages += 1
-        self.num_lines = lines
+        # Stage count shared with CedarConfig.network_stages and the
+        # machine builder's routing-tag derivation (config.py owns it).
+        self.num_stages = network_stages_for(num_ports, self.radix)
+        self.num_lines = self.radix**self.num_stages
         self.num_ports = num_ports
         self._sinks: Dict[int, DeliveryHandler] = {}
         self._delivery_queues: List[BoundedWordQueue] = []
@@ -250,6 +248,16 @@ class OmegaNetwork:
     def on_entry_space(self, port: int, waiter: Callable[[], None]) -> None:
         """One-shot callback when the entry queue at ``port`` frees space."""
         self.entry_queue(port).wait_for_space(waiter)
+
+    @property
+    def routing_tag_bits(self) -> int:
+        """Bits of destination tag the network consumes end to end.
+
+        Each stage rewrites one base-``radix`` digit, so the tag is
+        ``num_stages * log2(radix)`` bits -- the quantity the machine
+        builder bounds against the packet header's tag-field budget.
+        """
+        return self.num_stages * (self.radix - 1).bit_length()
 
     def occupancy_words(self) -> int:
         """Total words buffered inside the network (for tests/ablation)."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.config import CE_CYCLE_SECONDS, CedarConfig, DEFAULT_CONFIG
+from repro.config import CE_CYCLE_SECONDS, CedarConfig, active_config
 from repro.hardware.ce import ComputationalElement, KernelFactory
 from repro.hardware.machine import CedarMachine
 
@@ -59,7 +59,7 @@ class MeasuredKernel:
 def run_measured(
     kernel: MeasuredKernel,
     num_ces: int,
-    config: CedarConfig = DEFAULT_CONFIG,
+    config: Optional[CedarConfig] = None,
     warmup_fraction: float = 0.0,
 ) -> KernelRun:
     """Run a kernel on ``num_ces`` CEs and collect Table 1/2 metrics.
@@ -67,10 +67,13 @@ def run_measured(
     Args:
         kernel: What to run; its factory receives (config, blocks_per_ce).
         num_ces: CEs used, filled cluster by cluster (8 = one cluster).
-        config: Machine configuration.
+        config: Machine configuration (default: the ambient
+            :func:`repro.config.active_config`).
         warmup_fraction: Fraction of leading prefetches excluded from the
             latency statistics (ramp-up before queues reach steady state).
     """
+    if config is None:
+        config = active_config()
     machine = CedarMachine(config)
     factory = kernel.factory(config, num_ces)
     end = machine.run_kernel(factory, num_ces=num_ces)

@@ -9,7 +9,9 @@ operations of size N, 1K <= N <= 172K."
 
 from __future__ import annotations
 
-from repro.config import CE_CYCLE_SECONDS, CedarConfig, DEFAULT_CONFIG
+from typing import Optional
+
+from repro.config import CE_CYCLE_SECONDS, CedarConfig, active_config
 from repro.hardware.ce import (
     ArmFirePrefetch,
     Compute,
@@ -100,7 +102,7 @@ LOOP_STARTS_PER_ITERATION = 6
 def measure_cg(
     num_ces: int,
     points: int,
-    config: CedarConfig = DEFAULT_CONFIG,
+    config: Optional[CedarConfig] = None,
     max_strips: int = SIM_STRIP_CAP,
 ) -> KernelRun:
     """One CG iteration window over ``points`` unknowns on ``num_ces`` CEs.
@@ -108,6 +110,8 @@ def measure_cg(
     Large problems are truncated at ``max_strips`` strips per CE (the
     stream is stationary; see :func:`cg_time_cycles` for full-size timing).
     """
+    if config is None:
+        config = active_config()
     if points < num_ces:
         raise ValueError(f"problem size {points} smaller than CE count {num_ces}")
     per_ce = points // num_ces
@@ -123,7 +127,7 @@ def measure_cg(
 def cg_time_cycles(
     num_ces: int,
     points: int,
-    config: CedarConfig = DEFAULT_CONFIG,
+    config: Optional[CedarConfig] = None,
 ) -> float:
     """Cycles for one full CG iteration, extrapolating past the sim window.
 
@@ -133,6 +137,8 @@ def cg_time_cycles(
     because the strip stream is stationary.  The global parallel-loop
     startup (90us XDOALL-style spread, Section 3.2) is added on top.
     """
+    if config is None:
+        config = active_config()
     block = config.prefetch.compiler_block_words
     strips_needed = max(1, (points // num_ces) // block)
     startup = LOOP_STARTS_PER_ITERATION * config.seconds_to_cycles(
@@ -148,7 +154,7 @@ def cg_time_cycles(
     return fixed + strips_needed * per_strip + startup
 
 
-def cg_mflops(num_ces: int, points: int, config: CedarConfig = DEFAULT_CONFIG) -> float:
+def cg_mflops(num_ces: int, points: int, config: Optional[CedarConfig] = None) -> float:
     """Delivered MFLOPS of one CG iteration (PPT4's rate measure)."""
     cycles = cg_time_cycles(num_ces, points, config)
     flops = FLOPS_PER_POINT * points

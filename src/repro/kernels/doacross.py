@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.config import CedarConfig, DEFAULT_CONFIG
+from repro.config import CedarConfig, active_config
 from repro.hardware.ce import Compute, ComputationalElement, SyncInstruction
 from repro.hardware.machine import CedarMachine
 from repro.hardware.sync_processor import OperateOp, TestOp
@@ -44,7 +44,7 @@ def run_doacross(
     dependence_distance: int,
     body_cycles: int = 120,
     num_ces: int = 8,
-    config: CedarConfig = DEFAULT_CONFIG,
+    config: Optional[CedarConfig] = None,
 ) -> DoacrossResult:
     """Execute a distance-``d`` recurrence as a DOACROSS on ``num_ces`` CEs.
 

@@ -10,9 +10,9 @@ single module), and an aggregate-bandwidth probe versus CE count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.config import CE_CYCLE_SECONDS, CedarConfig, DEFAULT_CONFIG, WORD_BYTES
+from repro.config import CE_CYCLE_SECONDS, CedarConfig, WORD_BYTES, active_config
 from repro.hardware.ce import ArmFirePrefetch, ComputationalElement, ConsumePrefetch
 from repro.kernels.common import KernelRun, MeasuredKernel, ce_base_address, run_measured
 
@@ -60,10 +60,12 @@ def _stride_kernel(config: CedarConfig, stride: int, blocks: int):
 def measure_stride(
     stride: int,
     num_ces: int = 8,
-    config: CedarConfig = DEFAULT_CONFIG,
+    config: Optional[CedarConfig] = None,
     blocks: int = 8,
 ) -> StridePoint:
     """One point of the stride sweep."""
+    if config is None:
+        config = active_config()
     kernel = MeasuredKernel(
         name=f"stride-{stride}",
         factory=lambda cfg, _n: _stride_kernel(cfg, stride, blocks),
@@ -83,7 +85,7 @@ def measure_stride(
 def stride_sweep(
     strides: Sequence[int] = (1, 2, 4, 8, 16, 32),
     num_ces: int = 8,
-    config: CedarConfig = DEFAULT_CONFIG,
+    config: Optional[CedarConfig] = None,
 ) -> List[StridePoint]:
     """The classic interleave-structure sweep.
 
@@ -96,7 +98,7 @@ def stride_sweep(
 
 
 def aggregate_bandwidth_megabytes(
-    num_ces: int, config: CedarConfig = DEFAULT_CONFIG, blocks: int = 10
+    num_ces: int, config: Optional[CedarConfig] = None, blocks: int = 10
 ) -> float:
     """Delivered stride-1 aggregate bandwidth at a given CE count."""
     kernel = MeasuredKernel(

@@ -18,9 +18,11 @@ All versions chain two operations (multiply + add) per memory request.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import enum
 
-from repro.config import CedarConfig, DEFAULT_CONFIG
+from repro.config import CedarConfig, active_config
 from repro.hardware.ce import (
     ArmFirePrefetch,
     Compute,
@@ -159,7 +161,7 @@ def rank_update_kernel(
 def measure_rank_update(
     version: RankUpdateVersion,
     num_clusters: int,
-    config: CedarConfig = DEFAULT_CONFIG,
+    config: Optional[CedarConfig] = None,
     strips: int | None = None,
 ) -> KernelRun:
     """Table 1 cell: MFLOPS of one version on 1..4 clusters.
@@ -169,6 +171,9 @@ def measure_rank_update(
     n = 1K matrix where the panel transfer is negligible against the
     O(n^2 * 64) arithmetic.
     """
+    if config is None:
+        config = active_config()
+
     def run(n_strips: int | None) -> KernelRun:
         kernel = MeasuredKernel(
             name=f"RK {version.value}",

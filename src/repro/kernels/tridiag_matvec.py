@@ -9,7 +9,9 @@ the reason TM degrades less than VL and RK in the paper's Table 2.
 
 from __future__ import annotations
 
-from repro.config import CedarConfig, DEFAULT_CONFIG
+from typing import Optional
+
+from repro.config import CedarConfig, active_config
 from repro.hardware.ce import (
     ArmFirePrefetch,
     Compute,
@@ -58,7 +60,7 @@ def tridiag_kernel(config: CedarConfig, strips: int = DEFAULT_STRIPS):
 
 def measure_tridiag(
     num_ces: int,
-    config: CedarConfig = DEFAULT_CONFIG,
+    config: Optional[CedarConfig] = None,
     strips: int = DEFAULT_STRIPS,
 ) -> KernelRun:
     """Run TM on ``num_ces`` CEs for the Table 2 latency columns."""

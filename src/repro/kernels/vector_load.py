@@ -8,7 +8,9 @@ reduces access intensity."
 
 from __future__ import annotations
 
-from repro.config import CedarConfig, DEFAULT_CONFIG
+from typing import Optional
+
+from repro.config import CedarConfig, active_config
 from repro.hardware.ce import ArmFirePrefetch, ComputationalElement, ConsumePrefetch
 from repro.kernels.common import KernelRun, MeasuredKernel, ce_base_address, run_measured
 
@@ -35,7 +37,7 @@ def vector_load_kernel(config: CedarConfig, blocks: int = DEFAULT_BLOCKS):
 
 def measure_vector_load(
     num_ces: int,
-    config: CedarConfig = DEFAULT_CONFIG,
+    config: Optional[CedarConfig] = None,
     blocks: int = DEFAULT_BLOCKS,
 ) -> KernelRun:
     """Run VL on ``num_ces`` CEs; Table 2 reports its latency columns."""

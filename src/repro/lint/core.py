@@ -39,8 +39,16 @@ from repro.errors import LintError
 
 #: The packages (relative to ``repro/``) whose code feeds deterministic
 #: artifacts: the cycle simulator, the partitioned runtime, the trace
-#: backbone, the serving tier and the metrics exporters.
-SIM_SCOPE: Tuple[str, ...] = ("hardware", "partition", "trace", "serve", "metrics")
+#: backbone, the serving tier, the metrics exporters and the machine
+#: builder (whose sweep artifacts must be byte-stable across --jobs).
+SIM_SCOPE: Tuple[str, ...] = (
+    "hardware",
+    "partition",
+    "trace",
+    "serve",
+    "metrics",
+    "builder",
+)
 
 #: Pseudo-rule id for a malformed/unknown suppression comment.
 UNKNOWN_RULE_ID = "lint.unknown-rule"

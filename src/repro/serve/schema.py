@@ -32,6 +32,7 @@ DEFAULT_JOB_CONFIG: Dict[str, object] = {
     "sanitize": False,
     "fastpath": True,
     "partitions": 1,
+    "spec": None,
 }
 
 
@@ -50,11 +51,36 @@ def _validate_partitions(key: str, value: object) -> int:
     return value
 
 
+def _validate_spec(key: str, value: object) -> Optional[Dict[str, object]]:
+    """Canonicalize a machine spec override.
+
+    The canonical form is the *fully elaborated* field dict
+    (``MachineSpec.to_dict()``): two requests that omit different
+    defaulted fields but mean the same machine hash to the same cache
+    key.  ``None`` (the default) means the paper's Cedar.
+    """
+    if value is None:
+        return None
+    from repro.builder import MachineSpec
+    from repro.errors import SpecError
+
+    if not isinstance(value, Mapping):
+        raise ServeError(
+            f"config key {key!r} must be a JSON object of MachineSpec "
+            f"fields, got {value!r}"
+        )
+    try:
+        return MachineSpec.from_dict(dict(value)).to_dict()
+    except SpecError as error:
+        raise ServeError(f"config key {key!r} is invalid: {error}")
+
+
 #: Per-key validators: each canonicalizes (or rejects) one override.
 _CONFIG_VALIDATORS = {
     "sanitize": _validate_bool,
     "fastpath": _validate_bool,
     "partitions": _validate_partitions,
+    "spec": _validate_spec,
 }
 
 

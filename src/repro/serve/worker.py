@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 import time
+from contextlib import ExitStack
 from typing import Callable, Dict, Optional
 
 from repro.results import canonical_bytes, jsonable
@@ -172,40 +173,61 @@ def build_record(
     partitions = int(config.get("partitions", 1))
     previous_fastpath = fastpath.set_enabled(config.get("fastpath", True))
     try:
-        if tracer is None:
-            tracer = ProgressTracer(emit)
-        emit({"type": "running", "experiment": experiment_key, "config": config})
-        if partitions > 1:
-            # Partitioned parallel simulation: units run in forked child
-            # processes (they inherit the fastpath setting), each with its
-            # own tracer/sanitizer; this worker must be non-daemonic.
-            from repro.partition import run_partitioned
+        with ExitStack() as scope:
+            spec_fields = config.get("spec")
+            if spec_fields is not None:
+                # Run the experiment on the machine this builder spec
+                # elaborates to.  The override is ambient, so every
+                # CedarMachine the driver builds -- including inside
+                # partition worker processes, which fork while the
+                # override is installed -- gets the spec's shape.
+                from repro.builder import MachineSpec, build_config
+                from repro.config import overriding
 
-            partitioned = run_partitioned(
-                experiment_key,
-                partitions,
-                sanitized=bool(config.get("sanitize", False)),
-            )
-            result = partitioned.result
-            rendered = partitioned.rendered
-            summary = partitioned.sanitizer
+                spec = MachineSpec.from_dict(dict(spec_fields))
+                scope.enter_context(overriding(build_config(spec)))
+            if tracer is None:
+                tracer = ProgressTracer(emit)
             emit(
                 {
-                    "type": "partitioned",
-                    "partitions": partitions,
-                    "events_per_sec": partitioned.telemetry["events_per_sec"],
+                    "type": "running",
+                    "experiment": experiment_key,
+                    "config": config,
                 }
             )
-        else:
-            with tracing(tracer):
-                if config.get("sanitize", False):
-                    rendered, result, summary = run_experiment_sanitized(
-                        experiment_key
-                    )
-                else:
-                    result = experiment.run()
-                    rendered = experiment.render(result)
-                    summary = None
+            if partitions > 1:
+                # Partitioned parallel simulation: units run in forked child
+                # processes (they inherit the fastpath setting), each with its
+                # own tracer/sanitizer; this worker must be non-daemonic.
+                from repro.partition import run_partitioned
+
+                partitioned = run_partitioned(
+                    experiment_key,
+                    partitions,
+                    sanitized=bool(config.get("sanitize", False)),
+                )
+                result = partitioned.result
+                rendered = partitioned.rendered
+                summary = partitioned.sanitizer
+                emit(
+                    {
+                        "type": "partitioned",
+                        "partitions": partitions,
+                        "events_per_sec": partitioned.telemetry[
+                            "events_per_sec"
+                        ],
+                    }
+                )
+            else:
+                with tracing(tracer):
+                    if config.get("sanitize", False):
+                        rendered, result, summary = run_experiment_sanitized(
+                            experiment_key
+                        )
+                    else:
+                        result = experiment.run()
+                        rendered = experiment.render(result)
+                        summary = None
     finally:
         fastpath.set_enabled(previous_fastpath)
     record: Dict[str, object] = {

@@ -1,0 +1,119 @@
+"""MachineSpec validation: every invalid field fails loudly, by name."""
+
+import pytest
+
+from repro.builder import CEDAR_SPEC, MachineSpec
+from repro.builder.spec import MAX_ROUTING_TAG_BITS
+from repro.errors import ConfigurationError, SpecError
+
+
+class TestValidSpecs:
+    def test_cedar_spec_is_the_default_point(self):
+        assert CEDAR_SPEC == MachineSpec()
+        assert CEDAR_SPEC.num_ces == 32
+        assert CEDAR_SPEC.network_ports == 32
+        assert CEDAR_SPEC.stage_count == 2
+        assert CEDAR_SPEC.routing_tag_bits == 6
+        assert CEDAR_SPEC.sync_processor_count == 32
+
+    def test_declared_stage_count_matching_derivation_is_accepted(self):
+        spec = MachineSpec(network_stages=2)
+        assert spec.stage_count == 2
+
+    def test_stage_count_covers_the_larger_side(self):
+        # 8 CEs vs 64 modules: the module side needs two radix-8 stages.
+        spec = MachineSpec(clusters=1, memory_modules=64)
+        assert spec.network_ports == 64
+        assert spec.stage_count == 2
+
+    def test_radix_two_tag_arithmetic(self):
+        spec = MachineSpec(
+            clusters=2, ces_per_cluster=8, switch_radix=2, memory_modules=16
+        )
+        assert spec.stage_count == 4  # 16 lines of 2x2 switches
+        assert spec.routing_tag_bits == 4
+
+    def test_sync_processor_count_defaults_to_all_modules(self):
+        assert MachineSpec(memory_modules=16).sync_processor_count == 16
+        assert MachineSpec(sync_processors=4).sync_processor_count == 4
+
+    def test_round_trips_through_dict_form(self):
+        spec = MachineSpec(clusters=2, interleave_words=4, sync_processors=8)
+        assert MachineSpec.from_dict(spec.to_dict()) == spec
+
+
+#: One representative invalid value per field; the structured error must
+#: name exactly the field that was wrong.
+INVALID_FIELDS = [
+    ("clusters", 0),
+    ("clusters", 65),
+    ("ces_per_cluster", 0),
+    ("ces_per_cluster", 6),  # not a power of two
+    ("switch_radix", 3),
+    ("switch_radix", 32),
+    ("port_queue_words", 0),
+    ("port_queue_words", 65),
+    ("memory_modules", 1),
+    ("memory_modules", 33),
+    ("memory_modules", 2048),
+    ("interleave_words", 3),
+    ("interleave_words", 128),
+    ("sync_processors", 0),
+    ("sync_processors", 33),  # more than memory_modules
+    ("prefetch_buffer_words", 16),  # below one compiler block
+    ("prefetch_buffer_words", 48),  # not a power of two
+    ("network_stages", 3),  # 32 ports at radix 8 need exactly 2
+    ("clusters", "4"),  # right value, wrong type
+    ("clusters", True),  # bool is not an integer here
+]
+
+
+class TestInvalidSpecs:
+    @pytest.mark.parametrize("field,value", INVALID_FIELDS)
+    def test_invalid_field_raises_spec_error_naming_it(self, field, value):
+        with pytest.raises(SpecError) as caught:
+            MachineSpec(**{field: value})
+        assert caught.value.field == field
+        assert field in str(caught.value)
+
+    def test_spec_error_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(clusters=0)
+
+    def test_routing_tag_budget_is_enforced(self):
+        # 2048 radix-2 lines need 11 stages = 11 tag bits > the budget.
+        with pytest.raises(SpecError) as caught:
+            MachineSpec(
+                clusters=64, ces_per_cluster=32, switch_radix=2,
+                memory_modules=1024,
+            )
+        assert caught.value.field == "network_stages"
+        assert str(MAX_ROUTING_TAG_BITS) in str(caught.value)
+
+    def test_budget_edge_is_accepted(self):
+        # 1024 radix-2 lines need exactly the 10-bit budget.
+        spec = MachineSpec(
+            clusters=64, ces_per_cluster=16, switch_radix=2,
+            memory_modules=1024,
+        )
+        assert spec.stage_count == 10
+        assert spec.routing_tag_bits == MAX_ROUTING_TAG_BITS
+
+    def test_same_port_count_fits_at_a_higher_radix(self):
+        # 1024 ports at radix 4: 5 stages x 2 bits = 10, within budget.
+        spec = MachineSpec(
+            clusters=64, ces_per_cluster=16, switch_radix=4,
+            memory_modules=1024,
+        )
+        assert spec.stage_count == 5
+        assert spec.routing_tag_bits == 10
+
+    def test_from_dict_rejects_unknown_fields_by_name(self):
+        with pytest.raises(SpecError) as caught:
+            MachineSpec.from_dict({"clusters": 2, "num_modules": 16})
+        assert caught.value.field == "num_modules"
+        assert "memory_modules" in str(caught.value)  # lists known fields
+
+    def test_from_dict_rejects_non_objects(self):
+        with pytest.raises(SpecError):
+            MachineSpec.from_dict([1, 2, 3])

@@ -20,6 +20,20 @@ class TestFastExamples:
         assert "first-word latency 8" in out
         assert "TRFD" in out
 
+    def test_design_space_sweep(self, capsys):
+        out = run_example("design_space_sweep.py", capsys)
+        assert "machine: 4 clusters x 8 CEs = 32 CEs" in out
+        assert "pareto front:" in out
+
+    def test_memory_system_study_ablation(self, capsys):
+        # The Table 1 half takes minutes; the contention ablation is the
+        # part that exercises the builder-migrated config path.
+        module = runpy.run_path(str(EXAMPLES / "memory_system_study.py"))
+        module["contention_ablation"]()
+        out = capsys.readouterr().out
+        assert "as built" in out
+        assert "deep queues + fast modules" in out
+
     def test_restructure_loops(self, capsys):
         out = run_example("restructure_loops.py", capsys)
         assert "KAP-1988 parallelizes 'weighted-sum': False" in out

@@ -129,3 +129,47 @@ class TestParseJobRequest:
         with pytest.raises(ServeError, match=match) as info:
             parse_job_request(payload, EXPERIMENTS)
         assert info.value.status == 400
+
+
+class TestSpecConfigKey:
+    def test_default_is_the_paper_machine(self):
+        assert canonical_config(None)["spec"] is None
+
+    def test_spec_canonicalizes_to_explicit_fields(self):
+        config = canonical_config({"spec": {"memory_modules": 16}})
+        assert config["spec"]["memory_modules"] == 16
+        assert config["spec"]["clusters"] == 4  # default made explicit
+
+    def test_omitted_defaults_hash_identically(self):
+        # Two spellings of the same machine must cost one simulation.
+        sparse = canonical_config({"spec": {"memory_modules": 16}})
+        explicit = canonical_config(
+            {"spec": {"memory_modules": 16, "clusters": 4}}
+        )
+        assert canonical_config_json(sparse) == canonical_config_json(explicit)
+
+    def test_spec_changes_the_cache_key(self):
+        default = cache_key("table2", canonical_config(None), "fp")
+        spec = cache_key(
+            "table2", canonical_config({"spec": {"memory_modules": 16}}), "fp"
+        )
+        assert default != spec
+
+    def test_cedar_spec_still_differs_from_no_spec(self):
+        # An explicit CEDAR_SPEC names the builder path; runs are
+        # byte-identical, but provenance keeps the coordinates apart.
+        explicit = cache_key("table2", canonical_config({"spec": {}}), "fp")
+        default = cache_key("table2", canonical_config(None), "fp")
+        assert explicit != default
+
+    def test_invalid_spec_is_rejected_naming_the_field(self):
+        with pytest.raises(ServeError, match="memory_modules"):
+            canonical_config({"spec": {"memory_modules": 33}})
+
+    def test_unknown_spec_field_rejected(self):
+        with pytest.raises(ServeError, match="num_modules"):
+            canonical_config({"spec": {"num_modules": 16}})
+
+    def test_non_object_spec_rejected(self):
+        with pytest.raises(ServeError, match="JSON object"):
+            canonical_config({"spec": [16]})

@@ -394,7 +394,8 @@ class TestRealSimulation:
             assert record["experiment"] == "table6"
             assert record["code_version"] == version_fingerprint()
             assert record["config"] == {
-                "fastpath": True, "partitions": 1, "sanitize": False
+                "fastpath": True, "partitions": 1, "sanitize": False,
+                "spec": None,
             }
 
             samples = parse_prometheus(client.metrics_text())

@@ -106,3 +106,53 @@ class TestPartitionedJob:
         assert sharded["config"]["partitions"] == 2
         marks = [e for e in events if e["type"] == "partitioned"]
         assert len(marks) == 1 and marks[0]["partitions"] == 2
+
+
+class TestSpecOverride:
+    """The ``spec`` config key swaps the machine under the experiment."""
+
+    @staticmethod
+    def _register_probe(monkeypatch):
+        from repro.experiments import registry
+        from repro.kernels.vector_load import measure_vector_load
+
+        experiment = registry.Experiment(
+            key="vl-probe",
+            description="one vector-load window",
+            run=lambda: repr(measure_vector_load(4)),
+            render=lambda result: result,
+        )
+        monkeypatch.setitem(registry.EXPERIMENTS, "vl-probe", experiment)
+
+    def test_spec_reshapes_the_machine(self, monkeypatch):
+        from repro.serve.schema import canonical_config
+
+        self._register_probe(monkeypatch)
+        default = worker.build_record("vl-probe", canonical_config(None))
+        reshaped = worker.build_record(
+            "vl-probe", canonical_config({"spec": {"memory_modules": 8}})
+        )
+        assert reshaped["result"] != default["result"]
+        assert reshaped["config"]["spec"]["memory_modules"] == 8
+
+    def test_cedar_spec_reproduces_the_default_result(self, monkeypatch):
+        from repro.serve.schema import canonical_config
+
+        self._register_probe(monkeypatch)
+        default = worker.build_record("vl-probe", canonical_config(None))
+        explicit = worker.build_record(
+            "vl-probe", canonical_config({"spec": {}})
+        )
+        # Same simulation bytes; only the provenance coordinate differs.
+        assert explicit["result"] == default["result"]
+        assert explicit["config"] != default["config"]
+
+    def test_override_does_not_leak_out_of_the_job(self, monkeypatch):
+        from repro.config import DEFAULT_CONFIG, active_config
+        from repro.serve.schema import canonical_config
+
+        self._register_probe(monkeypatch)
+        worker.build_record(
+            "vl-probe", canonical_config({"spec": {"memory_modules": 8}})
+        )
+        assert active_config() is DEFAULT_CONFIG
